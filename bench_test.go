@@ -1,0 +1,296 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§VI), one testing.B benchmark per artefact, plus micro-benchmarks of
+// the core engines. cmd/experiments runs the same experiments at full
+// scale; these benches use the quick configuration so `go test -bench=.`
+// finishes in minutes. EXPERIMENTS.md records paper-vs-measured values.
+package patlabor
+
+import (
+	"math/rand"
+	"testing"
+
+	"patlabor/internal/core"
+	"patlabor/internal/dw"
+	"patlabor/internal/exp"
+	"patlabor/internal/lut"
+	"patlabor/internal/netgen"
+	"patlabor/internal/salt"
+	"patlabor/internal/tree"
+	"patlabor/internal/ysd"
+)
+
+func benchDesigns(b *testing.B) (exp.Config, []netgen.Design) {
+	b.Helper()
+	cfg := exp.QuickConfig()
+	designs := netgen.Suite(cfg.Suite)
+	return cfg, designs
+}
+
+// BenchmarkFig6FrontierSize regenerates Figure 6: maximum Pareto frontier
+// size per degree with a linear fit (paper: y = 2.85x − 10.9).
+func BenchmarkFig6FrontierSize(b *testing.B) {
+	cfg, designs := benchDesigns(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunSmall(cfg, designs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Fit.Slope, "fit-slope")
+	}
+}
+
+// BenchmarkTable2LUTGeneration regenerates Table II rows: lookup-table
+// construction (degree 5 here; cmd/experiments covers 4-7 with a degree-8
+// sample).
+func BenchmarkTable2LUTGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := lut.New()
+		if err := t.Generate(5, 0); err != nil {
+			b.Fatal(err)
+		}
+		st := t.Stats()
+		b.ReportMetric(float64(st[0].NumIndex), "indices")
+		b.ReportMetric(st[0].AvgTopo(), "avg-topo")
+	}
+}
+
+// BenchmarkTable3NonOptimalRatio regenerates Table III: the ratio of nets
+// on which each method misses at least one Pareto-optimal solution.
+func BenchmarkTable3NonOptimalRatio(b *testing.B) {
+	cfg, designs := benchDesigns(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunSmall(cfg, designs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nets, non := 0, 0
+		for _, a := range res.Agg {
+			nets += a.Nets
+			non += a.NonOptimal["YSD"]
+		}
+		if nets > 0 {
+			b.ReportMetric(100*float64(non)/float64(nets), "ysd-nonopt-%")
+		}
+	}
+}
+
+// BenchmarkTable4SolutionCounts regenerates Table IV: the fraction of all
+// Pareto-optimal solutions each method finds.
+func BenchmarkTable4SolutionCounts(b *testing.B) {
+	cfg, designs := benchDesigns(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunSmall(cfg, designs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total, salt := 0, 0
+		for _, a := range res.Agg {
+			total += a.FrontierSols
+			salt += a.Found["SALT"]
+		}
+		if total > 0 {
+			b.ReportMetric(float64(salt)/float64(total), "salt-fraction")
+		}
+	}
+}
+
+// BenchmarkFig7aSmallNets regenerates Figure 7(a): averaged Pareto curves
+// and running time on non-optimal small-degree nets.
+func BenchmarkFig7aSmallNets(b *testing.B) {
+	cfg, designs := benchDesigns(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunSmall(cfg, designs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.NonOpt), "nonopt-nets")
+	}
+}
+
+// BenchmarkFig7bLargeNets regenerates Figure 7(b): curves and runtime on
+// the suite's large-degree nets.
+func BenchmarkFig7bLargeNets(b *testing.B) {
+	cfg, designs := benchDesigns(b)
+	nets := exp.LargeSuiteNets(cfg, designs)
+	if len(nets) == 0 {
+		b.Skip("no large nets in quick sample")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunLarge("fig7b", nets, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Hypervolume["PatLabor"], "patlabor-hv")
+	}
+}
+
+// BenchmarkFig7cDegree100 regenerates Figure 7(c): 100 (quick: 3) random
+// degree-100 nets.
+func BenchmarkFig7cDegree100(b *testing.B) {
+	cfg := exp.QuickConfig()
+	nets := exp.Degree100Nets(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunLarge("fig7c", nets, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Hypervolume["PatLabor"], "patlabor-hv")
+	}
+}
+
+// BenchmarkTheorem1Gadget regenerates the Theorem 1 / Figure 4
+// verification: exponential frontier growth on the S-gadget family.
+func BenchmarkTheorem1Gadget(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunThm1(2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Frontier[len(res.Frontier)-1]), "frontier-m2")
+	}
+}
+
+// BenchmarkSmoothedFrontier regenerates the Theorem 2 verification:
+// frontier sizes of κ-smoothed instances.
+func BenchmarkSmoothedFrontier(b *testing.B) {
+	cfg := exp.QuickConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunThm2(cfg, 6, []float64{1, 4}, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MeanSize[len(res.MeanSize)-1], "mean-size-k4")
+	}
+}
+
+// BenchmarkAblationAll regenerates the ablation study: pruning lemmas,
+// LUT-vs-DP, and local-search variants.
+func BenchmarkAblationAll(b *testing.B) {
+	cfg := exp.QuickConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.RunAblation(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- micro-benchmarks of the individual engines ----
+
+func benchNet(n int, seed int64) tree.Net {
+	rng := rand.New(rand.NewSource(seed))
+	return netgen.Clustered(rng, n, 100000, 4000)
+}
+
+func BenchmarkExactFrontierDegree5(b *testing.B) { benchExact(b, 5) }
+func BenchmarkExactFrontierDegree7(b *testing.B) { benchExact(b, 7) }
+func BenchmarkExactFrontierDegree9(b *testing.B) { benchExact(b, 9) }
+
+func benchExact(b *testing.B, n int) {
+	net := benchNet(n, int64(n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dw.FrontierSols(net, dw.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExactFrontierNoPruning quantifies the speedup of Lemmas 2-4.
+func BenchmarkExactFrontierNoPruning(b *testing.B) {
+	net := benchNet(7, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dw.FrontierSols(net, dw.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLUTQueryDegree5(b *testing.B) {
+	table := lut.Default()
+	net := benchNet(5, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := table.Query(net); err != nil || !ok {
+			b.Fatalf("ok=%v err=%v", ok, err)
+		}
+	}
+}
+
+func BenchmarkPatLaborLargeNet(b *testing.B) {
+	net := benchNet(30, 30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Route(net, core.Options{Lambda: 7}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSALTSweepLargeNet(b *testing.B) {
+	net := benchNet(30, 31)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		salt.Sweep(net, nil)
+	}
+}
+
+func BenchmarkYSDSweepLargeNet(b *testing.B) {
+	net := benchNet(30, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ysd.Sweep(net, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRSMTLargeNet(b *testing.B) {
+	net := benchNet(30, 33)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RSMT(net)
+	}
+}
+
+func BenchmarkRSMALargeNet(b *testing.B) {
+	net := benchNet(30, 34)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RSMA(net)
+	}
+}
+
+// BenchmarkExtensionGRoute regenerates the beyond-the-paper experiment:
+// global-routing topology selection from Pareto candidate sets.
+func BenchmarkExtensionGRoute(b *testing.B) {
+	cfg := exp.QuickConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.RunGRoute(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkElmoreEvaluation measures Elmore delay evaluation of a routing
+// tree (the per-candidate cost of Elmore re-ranking).
+func BenchmarkElmoreEvaluation(b *testing.B) {
+	net := benchNet(30, 35)
+	t := RSMT(net)
+	p := TypicalElmoreParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ElmoreDelay(t, p) <= 0 {
+			b.Fatal("bad delay")
+		}
+	}
+}

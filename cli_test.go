@@ -1,0 +1,93 @@
+package patlabor
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCLI builds and runs a command of this module with `go run`.
+func runCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	cmd.Dir = "."
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run %v: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLINetgenAndRouter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test (builds binaries)")
+	}
+	dir := t.TempDir()
+	out := runCLI(t, "./cmd/netgen", "-o", dir, "-designs", "1", "-nets", "4")
+	if !strings.Contains(out, "synth01.nets") {
+		t.Fatalf("netgen output: %s", out)
+	}
+	netsFile := filepath.Join(dir, "synth01.nets")
+	if _, err := os.Stat(netsFile); err != nil {
+		t.Fatal(err)
+	}
+	for _, method := range []string{"patlabor", "salt", "ysd", "pd", "ks"} {
+		out = runCLI(t, "./cmd/patlabor", "-nets", netsFile, "-method", method)
+		if !strings.Contains(out, "Pareto solutions") {
+			t.Fatalf("%s router output: %s", method, out)
+		}
+	}
+}
+
+func TestCLIGadget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	dir := t.TempDir()
+	out := runCLI(t, "./cmd/netgen", "-o", dir, "-gadget", "2")
+	if !strings.Contains(out, "sgadget_m2") {
+		t.Fatalf("gadget output: %s", out)
+	}
+	out = runCLI(t, "./cmd/patlabor", "-nets", filepath.Join(dir, "sgadget_m2.nets"))
+	// m=2 gadget has at least 4 Pareto solutions.
+	if !strings.Contains(out, "Pareto solutions") {
+		t.Fatalf("router output: %s", out)
+	}
+}
+
+func TestCLILutgenRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	dir := t.TempDir()
+	table := filepath.Join(dir, "t.gob")
+	out := runCLI(t, "./cmd/lutgen", "-degrees", "4", "-o", table)
+	if !strings.Contains(out, "degree 4:") {
+		t.Fatalf("lutgen output: %s", out)
+	}
+	// The produced table loads through the public API.
+	net := NewNet(Pt(0, 0), Pt(10, 4), Pt(3, 9), Pt(8, 1))
+	cands, err := Route(net, Options{TablePath: table})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := ExactFrontier(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != len(exact) {
+		t.Fatalf("table-backed route %d candidates, exact %d", len(cands), len(exact))
+	}
+}
+
+func TestCLIExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	out := runCLI(t, "./cmd/experiments", "-quick", "-exp", "thm1")
+	if !strings.Contains(out, "Theorem 1") {
+		t.Fatalf("experiments output: %s", out)
+	}
+}

@@ -1,0 +1,167 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section on the synthetic ICCAD-15-like suite.
+//
+// Usage:
+//
+//	experiments [-exp all|fig6|table2|table3|table4|fig7a|fig7b|fig7c|thm1|thm2|ablation]
+//	            [-quick] [-designs N] [-nets N] [-seed S]
+//
+// The small-net experiments (fig6, table3, table4, fig7a) share one pass
+// over the suite and are computed together when any of them is requested.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"patlabor/internal/exp"
+	"patlabor/internal/lut"
+	"patlabor/internal/netgen"
+)
+
+func main() {
+	which := flag.String("exp", "all", "experiment to run (all, fig6, table2, table3, table4, fig7a, fig7b, fig7c, thm1, thm2, thm5, ablation, groute)")
+	quick := flag.Bool("quick", false, "use reduced sample sizes")
+	designs := flag.Int("designs", 0, "override number of designs")
+	nets := flag.Int("nets", 0, "override nets per design")
+	seed := flag.Int64("seed", 0, "override suite seed")
+	table := flag.String("table", "", "lookup-table file from cmd/lutgen, merged into the default table (speeds up PatLabor's small-net path)")
+	flag.Parse()
+
+	if *table != "" {
+		if err := lut.Default().LoadFile(*table); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: loading table:", err)
+			os.Exit(1)
+		}
+	}
+
+	cfg := exp.DefaultConfig()
+	if *quick {
+		cfg = exp.QuickConfig()
+	}
+	if *designs > 0 {
+		cfg.Suite.Designs = *designs
+	}
+	if *nets > 0 {
+		cfg.Suite.NetsPerDesign = *nets
+	}
+	if *seed != 0 {
+		cfg.Suite.Seed = *seed
+	}
+
+	if err := run(cfg, strings.ToLower(*which)); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg exp.Config, which string) error {
+	want := func(names ...string) bool {
+		if which == "all" {
+			return true
+		}
+		for _, n := range names {
+			if which == n {
+				return true
+			}
+		}
+		return false
+	}
+
+	if want("thm1", "fig4") {
+		maxM := 3
+		if cfg.Quick {
+			maxM = 2
+		}
+		res, err := exp.RunThm1(maxM)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	if want("thm2") {
+		res, err := exp.RunThm2(cfg, 7, nil, 200)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	if want("thm5") {
+		res, err := exp.RunThm5(cfg, 12, nil, 40)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	if want("table2") {
+		eager, sampleDeg, sampleCnt := 6, 7, 40
+		if cfg.Quick {
+			eager, sampleDeg, sampleCnt = 5, 6, 10
+		}
+		res, err := exp.RunTable2(eager, sampleDeg, sampleCnt, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+
+	needSmall := want("fig6", "table3", "table4", "fig7a")
+	needLarge := want("fig7b")
+	var suite []netgen.Design
+	if needSmall || needLarge {
+		fmt.Printf("generating suite: %d designs × %d nets (seed %d)...\n",
+			cfg.Suite.Designs, cfg.Suite.NetsPerDesign, cfg.Suite.Seed)
+		suite = netgen.Suite(cfg.Suite)
+	}
+	if needSmall {
+		res, err := exp.RunSmall(cfg, suite)
+		if err != nil {
+			return err
+		}
+		if want("fig6") {
+			fmt.Println(res.RenderFig6())
+		}
+		if want("table3") {
+			fmt.Println(res.RenderTable3())
+		}
+		if want("table4") {
+			fmt.Println(res.RenderTable4())
+		}
+		if want("fig7a") {
+			fmt.Println(res.RenderFig7a())
+		}
+	}
+	if needLarge {
+		nets := exp.LargeSuiteNets(cfg, suite)
+		res, err := exp.RunLarge("Figure 7(b) — large-degree suite nets", nets, true)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	if want("fig7c") {
+		nets := exp.Degree100Nets(cfg)
+		res, err := exp.RunLarge("Figure 7(c) — random degree-100 nets", nets, true)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	if want("ablation") {
+		res, err := exp.RunAblation(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	if want("groute") {
+		res, err := exp.RunGRoute(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+// Command lutgen generates PatLabor lookup tables (§V-A) and serialises
+// them for reuse. Pre-generated tables can be handed to the router via
+// patlabor.Options.TablePath or cmd/patlabor's -table flag.
+//
+// Usage:
+//
+//	lutgen -degrees 4-7 -o tables.gob [-workers N] [-sample K]
+//
+// Generating degree 7 takes minutes on one core; degrees 8-9 are feasible
+// but long (the paper reports 4.76 h on 16 cores for the full λ=9 set) —
+// use -sample to time a slice first.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"patlabor/internal/lut"
+)
+
+func main() {
+	degrees := flag.String("degrees", "4-6", "degree or range to generate, e.g. 5 or 4-7")
+	out := flag.String("o", "tables.gob", "output file")
+	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	sample := flag.Int("sample", 0, "generate only the first K patterns per degree (timing probe; table not marked complete)")
+	flag.Parse()
+
+	lo, hi, err := parseRange(*degrees)
+	if err != nil {
+		fatal(err)
+	}
+	t := lut.New()
+	for d := lo; d <= hi; d++ {
+		fmt.Printf("generating degree %d...\n", d)
+		if *sample > 0 {
+			err = t.GenerateSample(d, *workers, *sample)
+		} else {
+			err = t.Generate(d, *workers)
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+	for _, st := range t.Stats() {
+		fmt.Printf("degree %d: %d indices, %.2f avg topologies, %v\n",
+			st.Degree, st.NumIndex, st.AvgTopo(), st.GenTime)
+	}
+	if err := t.SaveFile(*out); err != nil {
+		fatal(err)
+	}
+	info, err := os.Stat(*out)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", *out, info.Size())
+}
+
+func parseRange(s string) (int, int, error) {
+	if lo, hi, ok := strings.Cut(s, "-"); ok {
+		a, err1 := strconv.Atoi(lo)
+		b, err2 := strconv.Atoi(hi)
+		if err1 != nil || err2 != nil || a < 2 || b < a {
+			return 0, 0, fmt.Errorf("bad degree range %q", s)
+		}
+		return a, b, nil
+	}
+	d, err := strconv.Atoi(s)
+	if err != nil || d < 2 {
+		return 0, 0, fmt.Errorf("bad degree %q", s)
+	}
+	return d, d, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lutgen:", err)
+	os.Exit(1)
+}

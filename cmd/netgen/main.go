@@ -1,0 +1,64 @@
+// Command netgen emits the synthetic ICCAD-15-like benchmark suite (or a
+// Theorem-1 gadget instance) as Bookshelf-style net files for use with
+// cmd/patlabor or external tools.
+//
+// Usage:
+//
+//	netgen -o outdir [-designs 8] [-nets 800] [-seed 1]
+//	netgen -gadget 3 -o outdir
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"patlabor/internal/bookshelf"
+	"patlabor/internal/netgen"
+)
+
+func main() {
+	out := flag.String("o", "benchmark", "output directory")
+	designs := flag.Int("designs", 8, "number of designs")
+	nets := flag.Int("nets", 800, "nets per design")
+	seed := flag.Int64("seed", 1, "suite seed")
+	gadget := flag.Int("gadget", 0, "emit one Theorem-1 gadget with m gadgets instead of the suite")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	if *gadget > 0 {
+		net := netgen.SGadget(*gadget)
+		path := filepath.Join(*out, fmt.Sprintf("sgadget_m%d.nets", *gadget))
+		err := bookshelf.WriteFile(path, []bookshelf.NamedNet{
+			{Name: fmt.Sprintf("sgadget_m%d", *gadget), Net: net},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d pins)\n", path, net.Degree())
+		return
+	}
+	cfg := netgen.DefaultSuiteConfig()
+	cfg.Designs = *designs
+	cfg.NetsPerDesign = *nets
+	cfg.Seed = *seed
+	for _, d := range netgen.Suite(cfg) {
+		named := make([]bookshelf.NamedNet, len(d.Nets))
+		for i, n := range d.Nets {
+			named[i] = bookshelf.NamedNet{Name: fmt.Sprintf("%s_n%05d", d.Name, i), Net: n}
+		}
+		path := filepath.Join(*out, d.Name+".nets")
+		if err := bookshelf.WriteFile(path, named); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d nets)\n", path, len(named))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "netgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,94 @@
+// Command patlabor routes nets from a Bookshelf-style file and prints the
+// Pareto set of each: one (wirelength, delay) row per Pareto-optimal tree.
+//
+// Usage:
+//
+//	patlabor -nets nets.txt [-method patlabor|salt|ysd|pd|ks]
+//	         [-lambda 9] [-table tables.gob] [-v]
+//
+// With -v each solution also prints its tree edges.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"patlabor"
+)
+
+func main() {
+	netsPath := flag.String("nets", "", "Bookshelf-style net file (required)")
+	method := flag.String("method", "patlabor", "routing method: patlabor, salt, ysd, pd, ks")
+	lambda := flag.Int("lambda", 0, "small-net threshold λ (default 9)")
+	table := flag.String("table", "", "pre-generated lookup table file (from lutgen)")
+	verbose := flag.Bool("v", false, "print tree edges")
+	workers := flag.Int("j", 1, "route nets concurrently with this many workers (patlabor method only)")
+	flag.Parse()
+
+	if *netsPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	nets, err := patlabor.ReadNets(*netsPath)
+	if err != nil {
+		fatal(err)
+	}
+	if *workers > 1 && *method == "patlabor" {
+		batch := make([]patlabor.Net, len(nets))
+		for i, nn := range nets {
+			batch[i] = nn.Net
+		}
+		results, err := patlabor.RouteAll(batch, patlabor.Options{Lambda: *lambda, TablePath: *table}, *workers)
+		if err != nil {
+			fatal(err)
+		}
+		for i, nn := range nets {
+			printNet(nn.Name, nn.Net, results[i], *verbose)
+		}
+		return
+	}
+	for _, nn := range nets {
+		cands, err := route(*method, nn.Net, *lambda, *table)
+		if err != nil {
+			fatal(fmt.Errorf("net %s: %w", nn.Name, err))
+		}
+		printNet(nn.Name, nn.Net, cands, *verbose)
+	}
+}
+
+func printNet(name string, net patlabor.Net, cands []patlabor.Candidate, verbose bool) {
+	fmt.Printf("net %s degree %d: %d Pareto solutions\n", name, net.Degree(), len(cands))
+	for _, c := range cands {
+		fmt.Printf("  w=%-10d d=%-10d\n", c.Sol.W, c.Sol.D)
+		if verbose {
+			for i, p := range c.Val.Parent {
+				if p >= 0 {
+					fmt.Printf("    %v -- %v\n", c.Val.Nodes[p].P, c.Val.Nodes[i].P)
+				}
+			}
+		}
+	}
+}
+
+func route(method string, net patlabor.Net, lambda int, table string) ([]patlabor.Candidate, error) {
+	switch method {
+	case "patlabor":
+		return patlabor.Route(net, patlabor.Options{Lambda: lambda, TablePath: table})
+	case "salt":
+		return patlabor.SALTSweep(net, nil), nil
+	case "ysd":
+		return patlabor.YSDSweep(net, nil)
+	case "pd":
+		return patlabor.PDSweep(net, nil), nil
+	case "ks":
+		return patlabor.KSFrontier(net)
+	default:
+		return nil, fmt.Errorf("unknown method %q", method)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "patlabor:", err)
+	os.Exit(1)
+}

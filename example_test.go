@@ -1,0 +1,61 @@
+package patlabor_test
+
+import (
+	"fmt"
+
+	"patlabor"
+)
+
+// The basic workflow: route a net, walk its Pareto frontier.
+func ExampleRoute() {
+	net := patlabor.NewNet(
+		patlabor.Pt(180, 70), // source
+		patlabor.Pt(50, 0), patlabor.Pt(50, 140),
+		patlabor.Pt(100, 100), patlabor.Pt(140, 160), patlabor.Pt(20, 60),
+	)
+	cands, err := patlabor.Route(net, patlabor.Options{})
+	if err != nil {
+		panic(err)
+	}
+	for _, c := range cands {
+		fmt.Printf("w=%d d=%d\n", c.Sol.W, c.Sol.D)
+	}
+	// Output:
+	// w=390 d=260
+	// w=410 d=210
+	// w=420 d=200
+}
+
+// Comparing the frontier endpoints against the single-objective optima.
+func ExampleExactFrontier() {
+	net := patlabor.NewNet(patlabor.Pt(0, 0),
+		patlabor.Pt(10, 1), patlabor.Pt(10, -1), patlabor.Pt(20, 0))
+	cands, err := patlabor.ExactFrontier(net)
+	if err != nil {
+		panic(err)
+	}
+	first, last := cands[0], cands[len(cands)-1]
+	fmt.Printf("min wirelength: w=%d d=%d\n", first.Sol.W, first.Sol.D)
+	fmt.Printf("min delay:      w=%d d=%d\n", last.Sol.W, last.Sol.D)
+	// Output:
+	// min wirelength: w=22 d=20
+	// min delay:      w=22 d=20
+}
+
+// Re-ranking Pareto candidates under the Elmore RC delay model.
+func ExampleElmoreRank() {
+	net := patlabor.NewNet(
+		patlabor.Pt(180, 70),
+		patlabor.Pt(50, 0), patlabor.Pt(50, 140),
+		patlabor.Pt(100, 100), patlabor.Pt(20, 60),
+	)
+	cands, err := patlabor.Route(net, patlabor.Options{})
+	if err != nil {
+		panic(err)
+	}
+	kept := patlabor.ElmoreRank(cands, patlabor.TypicalElmoreParams())
+	fmt.Printf("%d of %d candidates stay Pareto-optimal under Elmore delay\n",
+		len(kept), len(cands))
+	// Output:
+	// 1 of 1 candidates stay Pareto-optimal under Elmore delay
+}

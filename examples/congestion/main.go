@@ -1,0 +1,89 @@
+// Congestion: drive the global-routing substrate (internal/groute) with
+// PatLabor's Pareto candidate sets. Many nets funnel through one region of
+// the die; a router locked to each net's single "best" topology overflows
+// the hotspot, while rip-up-and-reselect over the candidate sets trades a
+// little wirelength on a few nets to dissolve the congestion — the DGR-
+// style use-case the paper's introduction motivates.
+//
+//	go run ./examples/congestion
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"patlabor"
+	"patlabor/internal/groute"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(17))
+	const (
+		die     = 800
+		numNets = 40
+	)
+
+	// Nets with drivers on the east edge and sink clusters on the west:
+	// every cheap topology wants the same few horizontal tracks.
+	var nets []groute.NetCandidates
+	for len(nets) < numNets {
+		src := patlabor.Pt(650+rng.Int63n(120), 250+rng.Int63n(300))
+		sinks := make([]patlabor.Point, 4)
+		for j := range sinks {
+			sinks[j] = patlabor.Pt(rng.Int63n(250), rng.Int63n(die))
+		}
+		net := patlabor.NewNet(src, sinks...)
+		cands, err := patlabor.Route(net, patlabor.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(cands) < 2 {
+			continue // no tradeoff to exploit on this net
+		}
+		nets = append(nets, groute.NetCandidates{Cands: cands})
+	}
+
+	run := func(label string, pick func(groute.NetCandidates) groute.NetCandidates, passes int) groute.Result {
+		grid, err := groute.NewGrid(10, 10, die/10, die/10, 9)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sel := make([]groute.NetCandidates, len(nets))
+		for i, nc := range nets {
+			sel[i] = pick(nc)
+		}
+		_, res, err := groute.Select(grid, sel, passes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-34s overflow %4d   max edge use %3d   wire %7d\n",
+			label, res.Overflow, res.MaxUse, res.TotalWire)
+		return res
+	}
+
+	fmt.Printf("%d nets, 10×10 G-cell grid, capacity 9 per boundary\n\n", len(nets))
+	cheapest := run("RSMT only (min-wire topology)",
+		func(nc groute.NetCandidates) groute.NetCandidates {
+			return groute.NetCandidates{Cands: nc.Cands[:1]}
+		}, 1)
+	fastest := run("arborescence only (min-delay)",
+		func(nc groute.NetCandidates) groute.NetCandidates {
+			return groute.NetCandidates{Cands: nc.Cands[len(nc.Cands)-1:]}
+		}, 1)
+	pareto := run("Pareto candidate selection",
+		func(nc groute.NetCandidates) groute.NetCandidates { return nc }, 5)
+
+	fmt.Println()
+	switch {
+	case pareto.Overflow < cheapest.Overflow && pareto.Overflow < fastest.Overflow:
+		fmt.Println("Candidate selection beats both single-topology routers on overflow,")
+		fmt.Println("paying only the wirelength needed to steer around the hotspot.")
+	case pareto.Overflow <= cheapest.Overflow:
+		fmt.Println("Candidate selection matches the best single-topology overflow with")
+		fmt.Println("a better wirelength/turnaround mix.")
+	default:
+		fmt.Println("On this seed the single-topology router got lucky — rerun with more")
+		fmt.Println("nets to see the candidate sets pull ahead.")
+	}
+}

@@ -1,0 +1,36 @@
+// Gadget: demonstrate Theorem 1 — the S-gadget family has exponentially
+// many Pareto-optimal routing trees. Each chained gadget adds an
+// independent binary choice (save wire through the bait cluster, or keep
+// the victim sink fast), so the exact frontier doubles with every gadget.
+//
+//	go run ./examples/gadget
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"patlabor"
+	"patlabor/internal/netgen"
+)
+
+func main() {
+	fmt.Println("Theorem 1: exponential Pareto frontiers on adversarial chains")
+	fmt.Println()
+	for m := 1; m <= 3; m++ {
+		net := netgen.SGadget(m)
+		cands, err := patlabor.ExactFrontier(net)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("m=%d gadgets (%d pins): %d Pareto-optimal trees (2^m = %d)\n",
+			m, net.Degree(), len(cands), 1<<m)
+		for _, c := range cands {
+			fmt.Printf("    w=%-6d d=%-6d\n", c.Sol.W, c.Sol.D)
+		}
+	}
+	fmt.Println()
+	fmt.Println("Real placements never look like this: Theorem 2 shows κ-smoothed")
+	fmt.Println("instances have only O(n³κ) expected frontier points, which is why")
+	fmt.Println("PatLabor's lookup tables stay small (run cmd/experiments -exp thm2).")
+}

@@ -1,0 +1,91 @@
+// Globalrouting: the paper's motivating use-case (§I) — a global router
+// that picks each net's topology from a Pareto candidate set instead of
+// committing to one heuristic tree per net.
+//
+// The toy scenario: a block of nets, each with a timing budget (a maximum
+// source-to-sink delay). The router must meet every budget while using as
+// little total wirelength as possible. With a single-solution
+// constructor you get either the RSMT (cheapest, misses budgets) or the
+// arborescence (fastest, wastes wire); with PatLabor's Pareto sets the
+// router simply picks, per net, the cheapest candidate meeting the budget.
+//
+//	go run ./examples/globalrouting
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"patlabor"
+	"patlabor/internal/netgen"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(3))
+	const numNets = 40
+
+	type job struct {
+		net    patlabor.Net
+		budget int64
+		cands  []patlabor.Candidate
+	}
+	jobs := make([]job, 0, numNets)
+	for len(jobs) < numNets {
+		net := netgen.ClusteredDriver(rng, 5+rng.Intn(5), 8000, 2500)
+		cands, err := patlabor.Route(net, patlabor.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Timing budget: somewhere between the best possible delay and
+		// the RSMT's delay — tight enough to bite, loose enough to meet.
+		minD := cands[len(cands)-1].Sol.D
+		maxD := cands[0].Sol.D
+		if maxD <= minD {
+			continue // no tension on this net; budgets trivially met
+		}
+		budget := minD + (maxD-minD)*int64(20+rng.Intn(60))/100
+		jobs = append(jobs, job{net: net, budget: budget, cands: cands})
+	}
+
+	var wRSMT, wRSMA, wPareto int64
+	var missRSMT, missRSMA, missPareto int
+	for _, j := range jobs {
+		// Single-solution baselines.
+		rsmtTree := patlabor.RSMT(j.net)
+		if rsmtTree.MaxDelay() > j.budget {
+			missRSMT++
+		}
+		wRSMT += rsmtTree.Wirelength()
+		rsmaTree := patlabor.RSMA(j.net)
+		if rsmaTree.MaxDelay() > j.budget {
+			missRSMA++
+		}
+		wRSMA += rsmaTree.Wirelength()
+		// Pareto selection: cheapest candidate meeting the budget
+		// (candidates are sorted by wirelength, so the first fit wins).
+		picked := false
+		for _, c := range j.cands {
+			if c.Sol.D <= j.budget {
+				wPareto += c.Sol.W
+				picked = true
+				break
+			}
+		}
+		if !picked {
+			missPareto++
+			wPareto += j.cands[len(j.cands)-1].Sol.W
+		}
+	}
+
+	fmt.Printf("%d nets with per-net delay budgets\n\n", len(jobs))
+	fmt.Printf("%-28s %14s %16s\n", "topology source", "total wire", "budget misses")
+	fmt.Printf("%-28s %14d %16d\n", "RSMT (wire-only)", wRSMT, missRSMT)
+	fmt.Printf("%-28s %14d %16d\n", "arborescence (delay-only)", wRSMA, missRSMA)
+	fmt.Printf("%-28s %14d %16d\n", "PatLabor Pareto selection", wPareto, missPareto)
+	fmt.Println()
+	fmt.Printf("Pareto selection meets every budget using %.1f%% less wire than the\n",
+		100*(1-float64(wPareto)/float64(wRSMA)))
+	fmt.Println("always-fast arborescence — the candidate sets let the router pay for")
+	fmt.Println("speed only where timing actually requires it.")
+}

@@ -1,0 +1,64 @@
+// Quickstart: route one net with PatLabor and print its full Pareto
+// frontier — every wirelength/delay tradeoff the net admits, with one
+// routing tree per point.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"patlabor"
+)
+
+func main() {
+	// A degree-6 net: the driver sits right of a sink cluster, the shape
+	// that makes wirelength and delay genuinely compete.
+	net := patlabor.NewNet(
+		patlabor.Pt(180, 70), // source (driver)
+		patlabor.Pt(50, 0),
+		patlabor.Pt(50, 140),
+		patlabor.Pt(100, 100),
+		patlabor.Pt(140, 160),
+		patlabor.Pt(20, 60),
+	)
+
+	cands, err := patlabor.Route(net, patlabor.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("degree-%d net: %d Pareto-optimal routing trees\n\n", net.Degree(), len(cands))
+	fmt.Println("   wirelength   delay   tree")
+	for i, c := range cands {
+		fmt.Printf("%d  %-11d  %-6d  %d nodes, %d Steiner points\n",
+			i+1, c.Sol.W, c.Sol.D, c.Val.Len(), steinerCount(c))
+	}
+
+	// The endpoints of the frontier are the two classic single-objective
+	// optima; everything between them is invisible to single-objective
+	// routers.
+	fmt.Printf("\nmin wirelength: %d (the RSMT objective)\n", cands[0].Sol.W)
+	fmt.Printf("min delay:      %d (the shortest-path-tree objective)\n",
+		cands[len(cands)-1].Sol.D)
+
+	// Each candidate is a concrete routing tree; print the cheapest one.
+	fmt.Println("\nedges of the minimum-wirelength tree:")
+	t := cands[0].Val
+	for i, p := range t.Parent {
+		if p >= 0 {
+			fmt.Printf("  %v -- %v\n", t.Nodes[p].P, t.Nodes[i].P)
+		}
+	}
+}
+
+func steinerCount(c patlabor.Candidate) int {
+	n := 0
+	for _, nd := range c.Val.Nodes {
+		if nd.IsSteiner() {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,81 @@
+// Training: retrain the local-search pin-selection policy π (§V-B) with
+// the policy-iteration scheme of the paper: sample candidate selections on
+// random instances, score each by the Pareto improvement one local-search
+// step achieves with it, and fit the four score weights by least squares,
+// warm-starting each degree from the previous one (curriculum).
+//
+// The shipped defaults in internal/policy were produced by this program.
+//
+//	go run ./examples/training [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"patlabor/internal/core"
+	"patlabor/internal/netgen"
+	"patlabor/internal/pareto"
+	"patlabor/internal/policy"
+	"patlabor/internal/rsmt"
+	"patlabor/internal/tree"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced sample counts")
+	flag.Parse()
+
+	degrees := []int{10, 14, 20, 28, 40, 56, 80, 100}
+	instances, samples := 16, 10
+	if *quick {
+		degrees = []int{10, 14}
+		instances, samples = 4, 4
+	}
+
+	cfg := policy.TrainConfig{
+		Degrees:   degrees,
+		Instances: instances,
+		Samples:   samples,
+		K:         core.DefaultLambda - 1,
+		Seed:      2025,
+		Gen: func(rng *rand.Rand, n int) tree.Net {
+			return netgen.ClusteredDriver(rng, n, 100000, 4000+int64(n)*300)
+		},
+		Base: func(net tree.Net) *tree.Tree { return rsmt.Tree(net) },
+		Eval: evalSelection,
+	}
+	params, err := policy.Train(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("trained selection-policy weights (α1 ‖r−p‖, α2 dist_T, α3 min-dist, α4 HPWL):")
+	keys := make([]int, 0, len(params))
+	for n := range params {
+		keys = append(keys, n)
+	}
+	sort.Ints(keys)
+	for _, n := range keys {
+		p := params[n]
+		fmt.Printf("  degree %3d: α = (%.3f, %.3f, %.3f, %.3f)\n", n, p.A1, p.A2, p.A3, p.A4)
+	}
+	fmt.Println("\nto adopt these defaults, update DefaultParams in internal/policy.")
+}
+
+// evalSelection scores a pin selection by the hypervolume gained when one
+// local-search step regenerates exactly those pins on the RSMT seed.
+func evalSelection(net tree.Net, base *tree.Tree, sel []int) float64 {
+	ref := pareto.Sol{
+		W: base.Wirelength() * 2,
+		D: base.MaxDelay() * 2,
+	}
+	before := pareto.Hypervolume([]pareto.Sol{base.Sol()}, ref)
+	after, err := core.StepHypervolume(net, base, sel, ref)
+	if err != nil {
+		return 0
+	}
+	return after - before
+}

@@ -1,0 +1,3 @@
+module patlabor
+
+go 1.22

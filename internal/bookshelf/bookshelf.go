@@ -1,0 +1,187 @@
+// Package bookshelf reads and writes routing nets in a Bookshelf-style
+// plain-text format, so real benchmark dumps (e.g. nets extracted from the
+// ICCAD-15 designs) can be fed to the router and synthetic suites can be
+// exported for other tools.
+//
+// Format (line oriented, '#' starts a comment):
+//
+//	NumNets : <k>
+//	Net <name> <degree>
+//	  <x> <y> s      # exactly one source pin per net
+//	  <x> <y>        # sink pins
+//
+// Coordinates are integers. Pins may appear in any order; the source line
+// is marked with a trailing "s".
+package bookshelf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"patlabor/internal/geom"
+	"patlabor/internal/tree"
+)
+
+// NamedNet pairs a net with its name from the file.
+type NamedNet struct {
+	Name string
+	Net  tree.Net
+}
+
+// Read parses a Bookshelf-style net file.
+func Read(r io.Reader) ([]NamedNet, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var nets []NamedNet
+	var declared = -1
+	line := 0
+	var cur *builder
+	flush := func() error {
+		if cur == nil {
+			return nil
+		}
+		n, err := cur.finish()
+		if err != nil {
+			return err
+		}
+		nets = append(nets, n)
+		cur = nil
+		return nil
+	}
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = strings.TrimSpace(text[:i])
+		}
+		if text == "" {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch {
+		case strings.EqualFold(fields[0], "NumNets"):
+			// "NumNets : k" or "NumNets: k"
+			v := fields[len(fields)-1]
+			k, err := strconv.Atoi(v)
+			if err != nil {
+				return nil, fmt.Errorf("bookshelf: line %d: bad NumNets %q", line, v)
+			}
+			declared = k
+		case strings.EqualFold(fields[0], "Net"):
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("bookshelf: line %d: want \"Net <name> <degree>\"", line)
+			}
+			deg, err := strconv.Atoi(fields[2])
+			if err != nil || deg < 1 {
+				return nil, fmt.Errorf("bookshelf: line %d: bad degree %q", line, fields[2])
+			}
+			cur = &builder{name: fields[1], degree: deg, line: line}
+		default:
+			if cur == nil {
+				return nil, fmt.Errorf("bookshelf: line %d: pin outside a Net block", line)
+			}
+			if err := cur.addPin(fields, line); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	if declared >= 0 && declared != len(nets) {
+		return nil, fmt.Errorf("bookshelf: NumNets %d but %d nets parsed", declared, len(nets))
+	}
+	return nets, nil
+}
+
+type builder struct {
+	name   string
+	degree int
+	line   int
+	source *geom.Point
+	sinks  []geom.Point
+}
+
+func (b *builder) addPin(fields []string, line int) error {
+	if len(fields) != 2 && !(len(fields) == 3 && strings.EqualFold(fields[2], "s")) {
+		return fmt.Errorf("bookshelf: line %d: want \"<x> <y> [s]\"", line)
+	}
+	x, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil {
+		return fmt.Errorf("bookshelf: line %d: bad x %q", line, fields[0])
+	}
+	y, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return fmt.Errorf("bookshelf: line %d: bad y %q", line, fields[1])
+	}
+	p := geom.Pt(x, y)
+	if len(fields) == 3 {
+		if b.source != nil {
+			return fmt.Errorf("bookshelf: line %d: net %s has two source pins", line, b.name)
+		}
+		b.source = &p
+		return nil
+	}
+	b.sinks = append(b.sinks, p)
+	return nil
+}
+
+func (b *builder) finish() (NamedNet, error) {
+	if b.source == nil {
+		return NamedNet{}, fmt.Errorf("bookshelf: net %s (line %d) has no source pin", b.name, b.line)
+	}
+	got := 1 + len(b.sinks)
+	if got != b.degree {
+		return NamedNet{}, fmt.Errorf("bookshelf: net %s declares degree %d but has %d pins",
+			b.name, b.degree, got)
+	}
+	return NamedNet{Name: b.name, Net: tree.NewNet(*b.source, b.sinks...)}, nil
+}
+
+// Write emits nets in the format Read parses.
+func Write(w io.Writer, nets []NamedNet) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "NumNets : %d\n", len(nets))
+	for _, n := range nets {
+		fmt.Fprintf(bw, "Net %s %d\n", n.Name, n.Net.Degree())
+		src := n.Net.Source()
+		fmt.Fprintf(bw, "  %d %d s\n", src.X, src.Y)
+		for _, p := range n.Net.Sinks() {
+			fmt.Fprintf(bw, "  %d %d\n", p.X, p.Y)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFile parses the net file at path.
+func ReadFile(path string) ([]NamedNet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// WriteFile writes nets to path.
+func WriteFile(path string, nets []NamedNet) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := Write(f, nets); err != nil {
+		return err
+	}
+	return f.Close()
+}

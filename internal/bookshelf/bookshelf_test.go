@@ -1,0 +1,143 @@
+package bookshelf
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"patlabor/internal/geom"
+	"patlabor/internal/tree"
+)
+
+const sample = `
+# two nets
+NumNets : 2
+Net n1 3
+  10 20 s
+  30 40
+  50 5
+Net n2 2
+  0 0 s
+  7 -3
+`
+
+func TestReadBasic(t *testing.T) {
+	nets, err := Read(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nets) != 2 {
+		t.Fatalf("parsed %d nets", len(nets))
+	}
+	if nets[0].Name != "n1" || nets[0].Net.Degree() != 3 {
+		t.Fatalf("net0 = %+v", nets[0])
+	}
+	if nets[0].Net.Source() != geom.Pt(10, 20) {
+		t.Fatalf("source = %v", nets[0].Net.Source())
+	}
+	if nets[1].Net.Sinks()[0] != geom.Pt(7, -3) {
+		t.Fatalf("negative coordinate parsed wrong: %v", nets[1].Net.Sinks()[0])
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"no source", "Net a 2\n 1 1\n 2 2\n"},
+		{"two sources", "Net a 2\n 1 1 s\n 2 2 s\n"},
+		{"degree mismatch", "Net a 3\n 1 1 s\n 2 2\n"},
+		{"pin outside net", " 1 1 s\n"},
+		{"bad degree", "Net a x\n"},
+		{"bad coord", "Net a 2\n 1 q s\n 2 2\n"},
+		{"numnets mismatch", "NumNets : 2\nNet a 1\n 1 1 s\n"},
+		{"bad numnets", "NumNets : x\n"},
+		{"malformed net line", "Net a\n"},
+		{"malformed pin", "Net a 2\n 1 1 s\n 2 2 3 4\n"},
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var nets []NamedNet
+	for i := 0; i < 10; i++ {
+		n := 2 + rng.Intn(10)
+		pins := make([]geom.Point, n)
+		for j := range pins {
+			pins[j] = geom.Pt(rng.Int63n(2000)-1000, rng.Int63n(2000)-1000)
+		}
+		nets = append(nets, NamedNet{Name: "net" + string(rune('a'+i)), Net: tree.Net{Pins: pins}})
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, nets); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(nets) {
+		t.Fatalf("round trip count %d != %d", len(back), len(nets))
+	}
+	for i := range nets {
+		if back[i].Name != nets[i].Name {
+			t.Fatalf("name %q != %q", back[i].Name, nets[i].Name)
+		}
+		if back[i].Net.Degree() != nets[i].Net.Degree() {
+			t.Fatal("degree mismatch")
+		}
+		for p := range nets[i].Net.Pins {
+			if back[i].Net.Pins[p] != nets[i].Net.Pins[p] {
+				t.Fatalf("pin mismatch in net %d", i)
+			}
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "nets.txt")
+	nets := []NamedNet{{Name: "x", Net: tree.NewNet(geom.Pt(0, 0), geom.Pt(5, 5))}}
+	if err := WriteFile(path, nets); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].Name != "x" {
+		t.Fatalf("back = %+v", back)
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing.txt")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestReadNeverPanicsOnGarbage(t *testing.T) {
+	// Robustness: arbitrary byte soup must produce an error or a result,
+	// never a panic.
+	rng := rand.New(rand.NewSource(2))
+	alphabet := []byte("Net 0123456789 -sxab\n\t #:")
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(200)
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on input %q: %v", buf, r)
+				}
+			}()
+			_, _ = Read(bytes.NewReader(buf))
+		}()
+	}
+}

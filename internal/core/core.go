@@ -1,0 +1,281 @@
+// Package core implements PatLabor (§V of the paper), the practical method
+// for Pareto optimisation of timing-driven routing trees:
+//
+//   - Small-degree nets (n ≤ λ): the exact Pareto frontier, answered from
+//     the lookup tables of internal/lut when the degree is covered and by
+//     the concrete Pareto-DW of internal/dw otherwise — both produce the
+//     identical exact result; the table is purely an accelerator.
+//
+//   - Large-degree nets (n > λ): local search. A Pareto set of trees T is
+//     maintained, seeded with an RSMT T₀ (FLUTE's role). Each iteration
+//     selects λ−1 pins of the current descent base with the policy π
+//     (internal/policy), regenerates the topology of those pins plus the
+//     source through the small-net engine, grafts each frontier subtree
+//     back, refines SALT-style, Pareto-merges the candidates, and advances
+//     the base to the best-delay candidate so improvements compound (see
+//     DESIGN.md substitution 8). The loop runs ⌊n/λ⌋ times as in the
+//     paper.
+package core
+
+import (
+	"fmt"
+
+	"patlabor/internal/dw"
+	"patlabor/internal/geom"
+	"patlabor/internal/lut"
+	"patlabor/internal/pareto"
+	"patlabor/internal/policy"
+	"patlabor/internal/rsmt"
+	"patlabor/internal/salt"
+	"patlabor/internal/tree"
+)
+
+// Options configures PatLabor.
+type Options struct {
+	// Lambda is the small-net threshold λ. 0 defaults to DefaultLambda.
+	// Values above dw.MaxExactDegree are rejected.
+	Lambda int
+	// Table answers small-net queries; nil uses lut.Default(). Degrees the
+	// table does not cover fall back to the exact DP.
+	Table *lut.Table
+	// Params overrides the selection policy parameters; nil uses the
+	// trained defaults per degree.
+	Params *policy.Params
+	// Iterations overrides the local-search iteration count; 0 uses the
+	// paper's ⌊n/λ⌋.
+	Iterations int
+	// NoRefine disables the SALT-style post-processing of rebuilt trees
+	// (for ablation).
+	NoRefine bool
+	// RandomSelection replaces the policy with a deterministic
+	// round-robin pin chunking (for ablation of π).
+	RandomSelection bool
+}
+
+// DefaultLambda is the paper's λ = 9.
+const DefaultLambda = 9
+
+// Route computes a Pareto set of routing trees for the net: the exact
+// frontier for degree ≤ λ, a locally searched approximation otherwise.
+// Items are in canonical frontier order.
+func Route(net tree.Net, opts Options) ([]pareto.Item[*tree.Tree], error) {
+	n := net.Degree()
+	if n == 0 {
+		return nil, fmt.Errorf("core: empty net")
+	}
+	lambda := opts.Lambda
+	if lambda == 0 {
+		lambda = DefaultLambda
+	}
+	if lambda < 2 || lambda > dw.MaxExactDegree {
+		return nil, fmt.Errorf("core: lambda %d out of range [2,%d]", lambda, dw.MaxExactDegree)
+	}
+	if n <= lambda {
+		return small(net, opts)
+	}
+	return localSearch(net, lambda, opts)
+}
+
+// Frontier returns only the objective vectors of Route.
+func Frontier(net tree.Net, opts Options) ([]pareto.Sol, error) {
+	items, err := Route(net, opts)
+	if err != nil {
+		return nil, err
+	}
+	sols := make([]pareto.Sol, len(items))
+	for i, it := range items {
+		sols[i] = it.Sol
+	}
+	return sols, nil
+}
+
+// small answers a small-degree net exactly: lookup table when covered,
+// concrete Pareto-DW otherwise.
+func small(net tree.Net, opts Options) ([]pareto.Item[*tree.Tree], error) {
+	table := opts.Table
+	if table == nil {
+		table = lut.Default()
+	}
+	if items, ok, err := table.Query(net); err == nil && ok {
+		return items, nil
+	} else if err != nil {
+		return nil, err
+	}
+	return dw.Frontier(net, dw.DefaultOptions())
+}
+
+func localSearch(net tree.Net, lambda int, opts Options) ([]pareto.Item[*tree.Tree], error) {
+	n := net.Degree()
+	iters := opts.Iterations
+	if iters <= 0 {
+		iters = n / lambda
+		if iters < 1 {
+			iters = 1
+		}
+	}
+	t0 := rsmt.Tree(net)
+	set := &pareto.Set[*tree.Tree]{}
+	set.Add(t0.Sol(), t0)
+
+	// The descent base: the tree whose worst pins the next iteration
+	// regenerates. Starting from T0 and advancing to the best-delay
+	// candidate of each round makes improvements compound — after ⌊n/λ⌋
+	// rounds every pin has been regenerated roughly once (the Pareto-KS
+	// connection of Remark 1). Rebuilding only the Pareto set's max-delay
+	// element would rebuild T0 (which stays Pareto-optimal as the min-wire
+	// point) forever and never reach the low-delay end of the frontier.
+	base := t0
+	// SALT-style post-processing of the seed (§V-B): the rebalanced
+	// variants of T0 give the frontier its shallow-tree backbone, which
+	// later rebuilds refine; without them the first iterations explore
+	// only around the RSMT end.
+	if !opts.NoRefine {
+		for _, eps := range rebalanceGrid {
+			v := salt.Rebalance(t0, net, eps)
+			set.Add(v.Sol(), v)
+		}
+	}
+	for it := 0; it < iters; it++ {
+		var sel []int
+		if opts.RandomSelection {
+			sel = chunkSelection(n, lambda-1, it)
+		} else {
+			params := policy.DefaultParams(n)
+			if opts.Params != nil {
+				params = *opts.Params
+			}
+			sel = policy.Select(net, base, lambda-1, params)
+		}
+		if len(sel) == 0 {
+			break
+		}
+		subFront, err := subFrontier(net, sel, opts)
+		if err != nil {
+			return nil, err
+		}
+		var next *tree.Tree
+		var nextD int64
+		for _, st := range subFront {
+			cand, err := rebuild(net, base, sel, st.Val)
+			if err != nil {
+				return nil, err
+			}
+			if !opts.NoRefine {
+				cand.Steinerize()
+			}
+			sol := cand.Sol()
+			set.Add(sol, cand)
+			if next == nil || sol.D < nextD {
+				next, nextD = cand, sol.D
+			}
+			// Wirelength-greedy variant (may trade delay for wirelength).
+			if !opts.NoRefine {
+				v := cand.Clone()
+				if v.RelocateSteiners() {
+					v.Steinerize()
+					set.Add(v.Sol(), v)
+				}
+			}
+		}
+		if next == nil {
+			break
+		}
+		base = next
+		// SALT-style post-processing (§V-B: "post-processing techniques
+		// as in SALT"): globally rebalanced variants of the current base
+		// repair paths that the local window could not see — rebuilt
+		// subtrees may intersect the other n−λ pins' routing.
+		if !opts.NoRefine {
+			for _, eps := range rebalanceGrid {
+				v := salt.Rebalance(base, net, eps)
+				set.Add(v.Sol(), v)
+			}
+		}
+	}
+	return set.Items(), nil
+}
+
+// rebalanceGrid is the ε grid of the SALT-style post-processing passes.
+var rebalanceGrid = []float64{0, 0.02, 0.05, 0.1, 0.15, 0.25, 0.4, 0.6, 0.9, 1.3, 2}
+
+// chunkSelection deterministically rotates through the sinks (the
+// random-selection ablation baseline).
+func chunkSelection(n, k, round int) []int {
+	sinks := n - 1
+	if k > sinks {
+		k = sinks
+	}
+	sel := make([]int, 0, k)
+	start := (round * k) % sinks
+	for i := 0; i < k; i++ {
+		sel = append(sel, 1+(start+i)%sinks)
+	}
+	seen := map[int]bool{}
+	out := sel[:0]
+	for _, s := range sel {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// subFrontier computes the exact Pareto frontier of source + selected
+// pins, with trees relabelled into the parent net's pin frame.
+func subFrontier(net tree.Net, sel []int, opts Options) ([]pareto.Item[*tree.Tree], error) {
+	pins := append([]int{0}, sel...)
+	sub := tree.Net{Pins: make([]geom.Point, len(pins))}
+	for i, p := range pins {
+		sub.Pins[i] = net.Pins[p]
+	}
+	items, err := small(sub, opts)
+	if err != nil {
+		return nil, err
+	}
+	for _, it := range items {
+		if err := it.Val.RelabelPins(pins); err != nil {
+			return nil, err
+		}
+	}
+	return items, nil
+}
+
+// StepHypervolume executes one local-search step on base with the given
+// pin selection and returns the hypervolume (w.r.t. ref) of the Pareto set
+// of {base} ∪ rebuilt candidates. It is the selection-quality signal the
+// policy trainer optimises (examples/training).
+func StepHypervolume(net tree.Net, base *tree.Tree, sel []int, ref pareto.Sol) (float64, error) {
+	subFront, err := subFrontier(net, sel, Options{})
+	if err != nil {
+		return 0, err
+	}
+	sols := []pareto.Sol{base.Sol()}
+	for _, st := range subFront {
+		cand, err := rebuild(net, base, sel, st.Val)
+		if err != nil {
+			return 0, err
+		}
+		cand.Steinerize()
+		sols = append(sols, cand.Sol())
+	}
+	return pareto.Hypervolume(sols, ref), nil
+}
+
+// rebuild clones base, detaches the selected pins (demoting their nodes to
+// Steiner points so downstream subtrees stay connected), grafts the
+// regenerated subtree at the root, and compacts.
+func rebuild(net tree.Net, base *tree.Tree, sel []int, sub *tree.Tree) (*tree.Tree, error) {
+	out := base.Clone()
+	for _, pin := range sel {
+		if err := out.RemovePin(pin); err != nil {
+			return nil, err
+		}
+	}
+	out.Graft(sub, out.Root)
+	out.Compact()
+	if err := out.Validate(net); err != nil {
+		return nil, fmt.Errorf("core: rebuilt tree invalid: %w", err)
+	}
+	return out, nil
+}

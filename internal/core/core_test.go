@@ -1,0 +1,214 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"patlabor/internal/dw"
+	"patlabor/internal/geom"
+	"patlabor/internal/pareto"
+	"patlabor/internal/rsma"
+	"patlabor/internal/rsmt"
+	"patlabor/internal/tree"
+)
+
+func randNet(rng *rand.Rand, n int, span int64) tree.Net {
+	pins := make([]geom.Point, n)
+	for i := range pins {
+		pins[i] = geom.Pt(rng.Int63n(span), rng.Int63n(span))
+	}
+	return tree.Net{Pins: pins}
+}
+
+func TestRouteSmallIsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(6) // 2..7
+		net := randNet(rng, n, 100)
+		items, err := Route(net, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := dw.FrontierSols(net, dw.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(items) != len(want) {
+			t.Fatalf("trial %d: %d items, want %d", trial, len(items), len(want))
+		}
+		for i := range want {
+			if items[i].Sol != want[i] {
+				t.Fatalf("trial %d: item %d = %v, want %v", trial, i, items[i].Sol, want[i])
+			}
+			if err := items[i].Val.Validate(net); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestRouteLargeValidAndCanonical(t *testing.T) {
+	rng := rand.New(rand.NewSource(112))
+	for _, n := range []int{12, 20, 30} {
+		net := randNet(rng, n, 400)
+		items, err := Route(net, Options{Lambda: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(items) == 0 {
+			t.Fatal("empty result")
+		}
+		var sols []pareto.Sol
+		for _, it := range items {
+			sols = append(sols, it.Sol)
+			if err := it.Val.Validate(net); err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+			if it.Val.Sol() != it.Sol {
+				t.Fatalf("n=%d: objective mismatch", n)
+			}
+		}
+		if !pareto.IsFrontier(sols) {
+			t.Fatalf("n=%d: not canonical: %v", n, sols)
+		}
+	}
+}
+
+func TestRouteLargeCoversBothEnds(t *testing.T) {
+	// The local search must reach near the RSMT wirelength on one end and
+	// strictly improve the RSMT delay on the other for spread-out nets.
+	rng := rand.New(rand.NewSource(113))
+	improvedDelay := 0
+	trials := 10
+	for trial := 0; trial < trials; trial++ {
+		net := randNet(rng, 16, 500)
+		items, err := Route(net, Options{Lambda: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		smtW := rsmt.Tree(net).Wirelength()
+		if items[0].Sol.W > smtW {
+			t.Fatalf("trial %d: best wirelength %d worse than seed RSMT %d",
+				trial, items[0].Sol.W, smtW)
+		}
+		smtD := rsmt.Tree(net).MaxDelay()
+		if items[len(items)-1].Sol.D < smtD {
+			improvedDelay++
+		}
+		// Delay can never beat the shortest-path bound.
+		if items[len(items)-1].Sol.D < rsma.MinDelay(net) {
+			t.Fatalf("trial %d: delay below the SPT lower bound", trial)
+		}
+	}
+	if improvedDelay == 0 {
+		t.Fatal("local search never improved the RSMT delay across trials")
+	}
+}
+
+func TestRouteRandomSelectionAblation(t *testing.T) {
+	rng := rand.New(rand.NewSource(114))
+	net := randNet(rng, 20, 400)
+	a, err := Route(net, Options{Lambda: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Route(net, Options{Lambda: 7, RandomSelection: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, items := range [][]pareto.Item[*tree.Tree]{a, b} {
+		for _, it := range items {
+			if err := it.Val.Validate(net); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestRouteNoRefineAblation(t *testing.T) {
+	rng := rand.New(rand.NewSource(115))
+	net := randNet(rng, 18, 300)
+	items, err := Route(net, Options{Lambda: 7, NoRefine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range items {
+		if err := it.Val.Validate(net); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRouteMoreIterationsNeverWorse(t *testing.T) {
+	// Monotonicity: the Pareto set only grows tighter with iterations.
+	rng := rand.New(rand.NewSource(116))
+	net := randNet(rng, 24, 400)
+	few, err := Route(net, Options{Lambda: 7, Iterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := Route(net, Options{Lambda: 7, Iterations: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := pareto.Sol{W: 1 << 40, D: 1 << 40}
+	if pareto.Hypervolume(itemSols(many), ref) < pareto.Hypervolume(itemSols(few), ref) {
+		t.Fatal("hypervolume decreased with more iterations")
+	}
+}
+
+func itemSols(items []pareto.Item[*tree.Tree]) []pareto.Sol {
+	out := make([]pareto.Sol, len(items))
+	for i, it := range items {
+		out[i] = it.Sol
+	}
+	return out
+}
+
+func TestRouteErrors(t *testing.T) {
+	if _, err := Route(tree.Net{}, Options{}); err == nil {
+		t.Fatal("empty net accepted")
+	}
+	net := tree.NewNet(geom.Pt(0, 0), geom.Pt(1, 1))
+	if _, err := Route(net, Options{Lambda: 1}); err == nil {
+		t.Fatal("lambda 1 accepted")
+	}
+	if _, err := Route(net, Options{Lambda: dw.MaxExactDegree + 1}); err == nil {
+		t.Fatal("oversized lambda accepted")
+	}
+}
+
+func TestFrontierMatchesRoute(t *testing.T) {
+	rng := rand.New(rand.NewSource(117))
+	net := randNet(rng, 6, 80)
+	sols, err := Frontier(net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	items, err := Route(net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sols) != len(items) {
+		t.Fatal("Frontier and Route disagree")
+	}
+}
+
+func TestStepHypervolume(t *testing.T) {
+	rng := rand.New(rand.NewSource(118))
+	net := randNet(rng, 14, 300)
+	base := rsmt.Tree(net)
+	ref := pareto.Sol{W: base.Wirelength() * 2, D: base.MaxDelay() * 2}
+	before := pareto.Hypervolume([]pareto.Sol{base.Sol()}, ref)
+	hv, err := StepHypervolume(net, base, []int{3, 7, 11}, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hv < before {
+		t.Fatalf("step hypervolume %v below base %v", hv, before)
+	}
+	// Base must be untouched by the step.
+	if err := base.Validate(net); err != nil {
+		t.Fatal(err)
+	}
+}

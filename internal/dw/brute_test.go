@@ -1,0 +1,149 @@
+package dw
+
+import (
+	"patlabor/internal/geom"
+	"patlabor/internal/hanan"
+	"patlabor/internal/pareto"
+	"patlabor/internal/tree"
+)
+
+// bruteFrontier computes the exact Pareto frontier of a small net by
+// exhaustive enumeration, entirely independently of the dynamic program:
+// it tries every subset of at most degree-2 Steiner candidates from the
+// Hanan grid and every labelled spanning tree (via Prüfer sequences) over
+// pins plus chosen Steiner points. Only practical for degree <= 4.
+func bruteFrontier(net tree.Net) []pareto.Sol {
+	n := net.Degree()
+	g := hanan.NewGrid(net.Pins)
+	pinSet := map[geom.Point]bool{}
+	for _, p := range net.Pins {
+		pinSet[p] = true
+	}
+	var candidates []geom.Point
+	for idx := 0; idx < g.NumNodes(); idx++ {
+		p := g.Point(idx)
+		if !pinSet[p] {
+			candidates = append(candidates, p)
+		}
+	}
+	maxSteiner := n - 2
+	if maxSteiner < 0 {
+		maxSteiner = 0
+	}
+	var all []pareto.Sol
+	var chosen []geom.Point
+	var rec func(start int)
+	rec = func(start int) {
+		all = append(all, enumerateTrees(net, chosen)...)
+		if len(chosen) == maxSteiner {
+			return
+		}
+		for i := start; i < len(candidates); i++ {
+			chosen = append(chosen, candidates[i])
+			rec(i + 1)
+			chosen = chosen[:len(chosen)-1]
+		}
+	}
+	rec(0)
+	return pareto.Filter(all)
+}
+
+// enumerateTrees evaluates every labelled spanning tree over the given
+// vertex set (pins first, then Steiner points) and returns the objective
+// vectors.
+func enumerateTrees(net tree.Net, steiner []geom.Point) []pareto.Sol {
+	pts := append(append([]geom.Point(nil), net.Pins...), steiner...)
+	k := len(pts)
+	nPins := net.Degree()
+	var out []pareto.Sol
+	if k == 1 {
+		return []pareto.Sol{{W: 0, D: 0}}
+	}
+	if k == 2 {
+		d := geom.Dist(pts[0], pts[1])
+		return []pareto.Sol{{W: d, D: d}}
+	}
+	// All Prüfer sequences of length k-2 over k labels.
+	seq := make([]int, k-2)
+	var rec func(pos int)
+	rec = func(pos int) {
+		if pos == len(seq) {
+			if sol, ok := evalPrufer(pts, nPins, seq); ok {
+				out = append(out, sol)
+			}
+			return
+		}
+		for v := 0; v < k; v++ {
+			seq[pos] = v
+			rec(pos + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// evalPrufer decodes a Prüfer sequence into a tree on pts and evaluates
+// (wirelength, delay from vertex 0 to vertices 1..nPins-1).
+func evalPrufer(pts []geom.Point, nPins int, seq []int) (pareto.Sol, bool) {
+	k := len(pts)
+	deg := make([]int, k)
+	for i := range deg {
+		deg[i] = 1
+	}
+	for _, v := range seq {
+		deg[v]++
+	}
+	type edge struct{ a, b int }
+	edges := make([]edge, 0, k-1)
+	used := make([]bool, k)
+	for _, v := range seq {
+		leaf := -1
+		for u := 0; u < k; u++ {
+			if deg[u] == 1 && !used[u] {
+				leaf = u
+				break
+			}
+		}
+		edges = append(edges, edge{leaf, v})
+		used[leaf] = true
+		deg[v]--
+	}
+	last := make([]int, 0, 2)
+	for u := 0; u < k; u++ {
+		if !used[u] && deg[u] == 1 {
+			last = append(last, u)
+		}
+	}
+	edges = append(edges, edge{last[0], last[1]})
+
+	adj := make([][]int, k)
+	var w int64
+	for _, e := range edges {
+		adj[e.a] = append(adj[e.a], e.b)
+		adj[e.b] = append(adj[e.b], e.a)
+		w += geom.Dist(pts[e.a], pts[e.b])
+	}
+	// BFS path lengths from vertex 0.
+	dist := make([]int64, k)
+	seen := make([]bool, k)
+	seen[0] = true
+	queue := []int{0}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				dist[v] = dist[u] + geom.Dist(pts[u], pts[v])
+				queue = append(queue, v)
+			}
+		}
+	}
+	var d int64
+	for v := 1; v < nPins; v++ {
+		if dist[v] > d {
+			d = dist[v]
+		}
+	}
+	return pareto.Sol{W: w, D: d}, true
+}

@@ -1,0 +1,166 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"patlabor/internal/core"
+	"patlabor/internal/dw"
+	"patlabor/internal/lut"
+	"patlabor/internal/netgen"
+	"patlabor/internal/pareto"
+	"patlabor/internal/rsma"
+	"patlabor/internal/rsmt"
+	"patlabor/internal/textplot"
+	"patlabor/internal/tree"
+)
+
+// AblationResult measures the design choices DESIGN.md calls out:
+// the three Pareto-DW pruning lemmas, the lookup table versus the direct
+// DP on small nets, and the selection policy / refinement of the local
+// search.
+type AblationResult struct {
+	PruneRows  [][]string // per pruning configuration: name, time
+	LUTRows    [][]string // LUT query vs direct DP
+	SearchRows [][]string // policy vs random, refine on/off
+}
+
+// RunAblation executes all ablations at a size driven by cfg.Quick.
+func RunAblation(cfg Config) (*AblationResult, error) {
+	res := &AblationResult{}
+	rng := rand.New(rand.NewSource(99))
+
+	// 1. Pruning lemmas: time the exact DP on degree-8 nets.
+	nNets := 12
+	if cfg.Quick {
+		nNets = 3
+	}
+	nets := make([]tree.Net, nNets)
+	for i := range nets {
+		nets[i] = netgen.Clustered(rng, 8, 100000, 4000)
+	}
+	configs := []struct {
+		name string
+		opt  dw.Options
+	}{
+		{"none", dw.Options{}},
+		{"corners (L2)", dw.Options{PruneCorners: true}},
+		{"projection (L3)", dw.Options{ProjectOutside: true}},
+		{"boundary splits (L4)", dw.Options{BoundarySplits: true}},
+		{"all (default)", dw.DefaultOptions()},
+	}
+	var ref []pareto.Sol
+	for ci, c := range configs {
+		var total time.Duration
+		for i, net := range nets {
+			start := time.Now()
+			sols, err := dw.FrontierSols(net, c.opt)
+			if err != nil {
+				return nil, err
+			}
+			total += time.Since(start)
+			// Cross-check: every configuration must agree exactly.
+			if ci == 0 && i == 0 {
+				ref = sols
+			} else if i == 0 {
+				if len(sols) != len(ref) {
+					return nil, fmt.Errorf("exp: pruning %q changed the frontier", c.name)
+				}
+				for k := range ref {
+					if sols[k] != ref[k] {
+						return nil, fmt.Errorf("exp: pruning %q changed the frontier", c.name)
+					}
+				}
+			}
+		}
+		res.PruneRows = append(res.PruneRows, []string{
+			c.name, fmtDur(total / time.Duration(len(nets)))})
+	}
+
+	// 2. Lookup table vs direct DP on covered degrees.
+	table := lut.Default()
+	qNets := 200
+	if cfg.Quick {
+		qNets = 40
+	}
+	smalls := make([]tree.Net, qNets)
+	for i := range smalls {
+		smalls[i] = netgen.Clustered(rng, 4+rng.Intn(2), 100000, 4000)
+	}
+	var lutTime, dpTime time.Duration
+	for _, net := range smalls {
+		start := time.Now()
+		if _, ok, err := table.Query(net); err != nil || !ok {
+			return nil, fmt.Errorf("exp: LUT query failed: ok=%v err=%v", ok, err)
+		}
+		lutTime += time.Since(start)
+		start = time.Now()
+		if _, err := dw.FrontierSols(net, dw.DefaultOptions()); err != nil {
+			return nil, err
+		}
+		dpTime += time.Since(start)
+	}
+	res.LUTRows = append(res.LUTRows,
+		[]string{"lookup table", fmtDur(lutTime / time.Duration(qNets))},
+		[]string{"direct Pareto-DW", fmtDur(dpTime / time.Duration(qNets))},
+	)
+
+	// 3. Local search: policy vs random selection, refinement on/off.
+	lNets := 10
+	if cfg.Quick {
+		lNets = 3
+	}
+	large := make([]tree.Net, lNets)
+	for i := range large {
+		large[i] = netgen.Clustered(rng, 16+rng.Intn(20), 100000, 8000)
+	}
+	variants := []struct {
+		name string
+		opt  core.Options
+	}{
+		{"policy + refine (default)", core.Options{Lambda: 7}},
+		{"random selection", core.Options{Lambda: 7, RandomSelection: true}},
+		{"no refinement", core.Options{Lambda: 7, NoRefine: true}},
+	}
+	// Normalise objectives per net by the RSMT wirelength and the
+	// shortest-path delay (×100 integer scale), as in Figure 7, so the
+	// hypervolumes of different variants are comparable.
+	ref2 := pareto.Sol{W: 160, D: 160}
+	for _, v := range variants {
+		var hv float64
+		var total time.Duration
+		for _, net := range large {
+			wN := rsmt.Wirelength(net)
+			dN := rsma.MinDelay(net)
+			start := time.Now()
+			sols, err := core.Frontier(net, v.opt)
+			if err != nil {
+				return nil, err
+			}
+			total += time.Since(start)
+			norm := make([]pareto.Sol, 0, len(sols))
+			for _, s := range sols {
+				norm = append(norm, pareto.Sol{W: s.W * 100 / wN, D: s.D * 100 / dN})
+			}
+			hv += pareto.Hypervolume(norm, ref2)
+		}
+		res.SearchRows = append(res.SearchRows, []string{
+			v.name,
+			fmtDur(total / time.Duration(lNets)),
+			fmt.Sprintf("%.1f", hv/float64(lNets)),
+		})
+	}
+	return res, nil
+}
+
+// Render renders the ablation report.
+func (r *AblationResult) Render() string {
+	out := "Ablation — pruning lemmas (mean exact-DP time per degree-8 net)\n"
+	out += textplot.Table([]string{"pruning", "time/net"}, r.PruneRows)
+	out += "\nAblation — small-net engine (mean time per degree-4/5 net)\n"
+	out += textplot.Table([]string{"engine", "time/net"}, r.LUTRows)
+	out += "\nAblation — local search variants (mean over large nets)\n"
+	out += textplot.Table([]string{"variant", "time/net", "mean hypervolume"}, r.SearchRows)
+	return out
+}

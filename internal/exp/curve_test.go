@@ -1,0 +1,65 @@
+package exp
+
+import (
+	"math"
+	"testing"
+
+	"patlabor/internal/pareto"
+)
+
+func TestCurveFlatExtension(t *testing.T) {
+	c := newCurve()
+	// One net: solutions (120, 90) and (150, 60) with norms (100, 50):
+	// normalised (1.2, 1.8) and (1.5, 1.2).
+	c.add([]pareto.Sol{{W: 120, D: 90}, {W: 150, D: 60}}, 100, 50)
+	c.finalize()
+	at := func(g float64) float64 {
+		for i, x := range c.Grid {
+			if math.Abs(x-g) < 1e-9 {
+				return c.D[i]
+			}
+		}
+		t.Fatalf("grid point %v missing", g)
+		return 0
+	}
+	// Below the cheapest solution: flat extension at its delay.
+	if d := at(1.0); math.Abs(d-1.8) > 1e-9 {
+		t.Fatalf("flat extension = %v, want 1.8", d)
+	}
+	// Between the two solutions: the cheap one's delay.
+	if d := at(1.3); math.Abs(d-1.8) > 1e-9 {
+		t.Fatalf("mid curve = %v, want 1.8", d)
+	}
+	// At and beyond the second: its delay.
+	if d := at(1.5); math.Abs(d-1.2) > 1e-9 {
+		t.Fatalf("tail = %v, want 1.2", d)
+	}
+	if d := at(1.6); math.Abs(d-1.2) > 1e-9 {
+		t.Fatalf("end = %v, want 1.2", d)
+	}
+}
+
+func TestCurveAveragesNets(t *testing.T) {
+	c := newCurve()
+	c.add([]pareto.Sol{{W: 100, D: 100}}, 100, 100) // flat 1.0
+	c.add([]pareto.Sol{{W: 100, D: 300}}, 100, 100) // flat 3.0
+	c.finalize()
+	for i := range c.Grid {
+		if math.Abs(c.D[i]-2.0) > 1e-9 {
+			t.Fatalf("average at %v = %v, want 2.0", c.Grid[i], c.D[i])
+		}
+	}
+}
+
+func TestCurveIgnoresDegenerate(t *testing.T) {
+	c := newCurve()
+	c.add(nil, 100, 100)
+	c.add([]pareto.Sol{{W: 1, D: 1}}, 0, 100)
+	c.add([]pareto.Sol{{W: 1, D: 1}}, 100, 0)
+	c.finalize()
+	for _, d := range c.D {
+		if d != 0 {
+			t.Fatal("degenerate additions contributed")
+		}
+	}
+}

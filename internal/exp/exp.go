@@ -1,0 +1,112 @@
+// Package exp is the experiment harness: one runner per table and figure
+// of the paper's evaluation (§VI), sharing a method registry and the
+// synthetic ICCAD-15-like suite of internal/netgen. cmd/experiments drives
+// it; the root bench_test.go wraps each runner in a testing.B benchmark.
+// EXPERIMENTS.md records paper-reported versus measured values.
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"patlabor/internal/core"
+	"patlabor/internal/ks"
+	"patlabor/internal/netgen"
+	"patlabor/internal/pareto"
+	"patlabor/internal/pd"
+	"patlabor/internal/salt"
+	"patlabor/internal/tree"
+	"patlabor/internal/ysd"
+)
+
+// Config scales the experiments. Quick mode shrinks sample counts so the
+// whole suite runs in seconds (used by tests and benchmarks); the full
+// configuration regenerates the paper-scale shapes in minutes.
+type Config struct {
+	Suite netgen.SuiteConfig
+	Quick bool
+}
+
+// DefaultConfig returns the full-scale configuration.
+func DefaultConfig() Config {
+	return Config{Suite: netgen.DefaultSuiteConfig()}
+}
+
+// QuickConfig returns a configuration small enough for unit tests.
+func QuickConfig() Config {
+	cfg := Config{Suite: netgen.DefaultSuiteConfig(), Quick: true}
+	cfg.Suite.Designs = 2
+	cfg.Suite.NetsPerDesign = 60
+	return cfg
+}
+
+// Method is one routing-tree construction entrant: it returns a Pareto set
+// of objective vectors for a net.
+type Method struct {
+	Name string
+	Run  func(net tree.Net) ([]pareto.Sol, error)
+}
+
+// Methods returns the standard entrants compared throughout §VI:
+// PatLabor, SALT and YSD (plus Prim–Dijkstra and Pareto-KS as additional
+// baselines when all is true).
+func Methods(all bool) []Method {
+	ms := []Method{
+		{Name: "PatLabor", Run: func(net tree.Net) ([]pareto.Sol, error) {
+			return core.Frontier(net, core.Options{})
+		}},
+		{Name: "SALT", Run: func(net tree.Net) ([]pareto.Sol, error) {
+			return itemSols(salt.Sweep(net, nil)), nil
+		}},
+		{Name: "YSD", Run: func(net tree.Net) ([]pareto.Sol, error) {
+			items, err := ysd.Sweep(net, nil)
+			if err != nil {
+				return nil, err
+			}
+			return itemSols(items), nil
+		}},
+	}
+	if all {
+		ms = append(ms,
+			Method{Name: "PD-II", Run: func(net tree.Net) ([]pareto.Sol, error) {
+				return itemSols(pd.Sweep(net, nil)), nil
+			}},
+			Method{Name: "Pareto-KS", Run: func(net tree.Net) ([]pareto.Sol, error) {
+				items, err := ks.Frontier(net, ks.Options{})
+				if err != nil {
+					return nil, err
+				}
+				return itemSols(items), nil
+			}},
+		)
+	}
+	return ms
+}
+
+func itemSols(items []pareto.Item[*tree.Tree]) []pareto.Sol {
+	out := make([]pareto.Sol, len(items))
+	for i, it := range items {
+		out[i] = it.Sol
+	}
+	return out
+}
+
+// timed runs f and accumulates its wall-clock duration into *acc.
+func timed(acc *time.Duration, f func() error) error {
+	start := time.Now()
+	err := f()
+	*acc += time.Since(start)
+	return err
+}
+
+// fmtDur renders a duration rounded for table output.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}

@@ -1,0 +1,190 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"patlabor/internal/netgen"
+)
+
+func quickDesigns(t *testing.T, cfg Config) []netgen.Design {
+	t.Helper()
+	return netgen.Suite(cfg.Suite)
+}
+
+func TestRunSmallQuick(t *testing.T) {
+	cfg := QuickConfig()
+	designs := quickDesigns(t, cfg)
+	res, err := RunSmall(cfg, designs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Methods) != 3 {
+		t.Fatalf("methods = %v", res.Methods)
+	}
+	totalNets := 0
+	for _, a := range res.Agg {
+		totalNets += a.Nets
+		// PatLabor is exact by construction.
+		if a.NonOptimal["PatLabor"] != 0 {
+			t.Fatalf("PatLabor non-optimal at degree %d", a.Degree)
+		}
+		if a.Found["PatLabor"] != a.FrontierSols {
+			t.Fatalf("PatLabor missed solutions at degree %d", a.Degree)
+		}
+		// No method can find more than the frontier.
+		for _, m := range res.Methods {
+			if a.Found[m] > a.FrontierSols {
+				t.Fatalf("%s found more than the frontier at degree %d", m, a.Degree)
+			}
+		}
+	}
+	if totalNets == 0 {
+		t.Fatal("no small nets evaluated")
+	}
+	// Rendering must produce non-empty output mentioning each method.
+	for _, s := range []string{res.RenderFig6(), res.RenderTable3(), res.RenderTable4(), res.RenderFig7a()} {
+		if len(s) < 40 {
+			t.Fatalf("render too short: %q", s)
+		}
+	}
+	if !strings.Contains(res.RenderTable3(), "SALT") {
+		t.Fatal("Table III render missing SALT")
+	}
+}
+
+func TestRunLargeQuick(t *testing.T) {
+	cfg := QuickConfig()
+	designs := quickDesigns(t, cfg)
+	nets := LargeSuiteNets(cfg, designs)
+	if len(nets) == 0 {
+		t.Skip("no large nets in quick suite sample")
+	}
+	res, err := RunLarge("Figure 7(b)", nets, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nets != len(nets) {
+		t.Fatalf("nets = %d", res.Nets)
+	}
+	for _, m := range res.Methods {
+		if res.Hypervolume[m] <= 0 {
+			t.Fatalf("method %s has zero hypervolume", m)
+		}
+	}
+	if !strings.Contains(res.Render(), "Figure 7(b)") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestDegree100NetsQuick(t *testing.T) {
+	cfg := QuickConfig()
+	nets := Degree100Nets(cfg)
+	if len(nets) != 3 {
+		t.Fatalf("quick degree-100 nets = %d", len(nets))
+	}
+	for _, n := range nets {
+		if n.Degree() != 100 {
+			t.Fatalf("degree = %d", n.Degree())
+		}
+	}
+}
+
+func TestRunThm1(t *testing.T) {
+	res, err := RunThm1(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range res.M {
+		if res.Frontier[i] < 1<<m {
+			t.Fatalf("m=%d frontier %d below 2^m", m, res.Frontier[i])
+		}
+	}
+	if !strings.Contains(res.Render(), "Theorem 1") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestRunThm2Quick(t *testing.T) {
+	cfg := QuickConfig()
+	res, err := RunThm2(cfg, 6, []float64{1, 4}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Kappa) != 2 {
+		t.Fatalf("kappas = %v", res.Kappa)
+	}
+	for i := range res.Kappa {
+		if res.MeanSize[i] < 1 {
+			t.Fatalf("mean frontier size %v below 1", res.MeanSize[i])
+		}
+	}
+	if !strings.Contains(res.Render(), "Theorem 2") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestRunTable2Quick(t *testing.T) {
+	res, err := RunTable2(5, 6, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats) != 3 { // degrees 4, 5 eager + 6 sampled
+		t.Fatalf("stats rows = %d", len(res.Stats))
+	}
+	if res.Stats[2].SampledOf == 0 {
+		t.Fatal("sampled row not marked")
+	}
+	out := res.Render()
+	if !strings.Contains(out, "Table II") || !strings.Contains(out, "sampled") {
+		t.Fatalf("render = %q", out)
+	}
+}
+
+func TestRunAblationQuick(t *testing.T) {
+	cfg := QuickConfig()
+	res, err := RunAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PruneRows) != 5 || len(res.LUTRows) != 2 || len(res.SearchRows) != 3 {
+		t.Fatalf("rows = %d/%d/%d", len(res.PruneRows), len(res.LUTRows), len(res.SearchRows))
+	}
+	if !strings.Contains(res.Render(), "Ablation") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestRunGRouteQuick(t *testing.T) {
+	cfg := QuickConfig()
+	res, err := RunGRoute(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nets == 0 || len(res.Rows) != 4 {
+		t.Fatalf("result = %+v", res)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "heatmap") || !strings.Contains(out, "Pareto candidate selection") {
+		t.Fatalf("render = %q", out)
+	}
+}
+
+func TestRunThm5Quick(t *testing.T) {
+	cfg := QuickConfig()
+	res, err := RunThm5(cfg, 12, []int{3, 6}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.M) != 2 || len(res.Gap) != 2 {
+		t.Fatalf("result = %+v", res)
+	}
+	for i, g := range res.Gap {
+		if g < 0 {
+			t.Fatalf("negative gap at %d", i)
+		}
+	}
+	if !strings.Contains(res.Render(), "Theorem 5") {
+		t.Fatal("render missing title")
+	}
+}

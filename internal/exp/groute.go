@@ -1,0 +1,141 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"patlabor/internal/core"
+	"patlabor/internal/groute"
+	"patlabor/internal/netgen"
+	"patlabor/internal/textplot"
+	"patlabor/internal/tree"
+)
+
+// GRouteResult is the extension experiment beyond the paper's evaluation:
+// global-routing topology selection from Pareto candidate sets versus
+// single-topology routing (the §I motivation). Rows: selection mode →
+// overflow / max edge use / total wirelength / timing misses.
+type GRouteResult struct {
+	Nets    int
+	Rows    [][]string
+	Heatmap string // congestion after Pareto selection
+}
+
+// RunGRoute builds a congested block (drivers east, sink clusters west),
+// routes every net with PatLabor, and compares three topology sources on
+// the same capacity grid.
+func RunGRoute(cfg Config) (*GRouteResult, error) {
+	rng := rand.New(rand.NewSource(23))
+	count := 120
+	if cfg.Quick {
+		count = 20
+	}
+	const die = 1600
+	var nets []groute.NetCandidates
+	for len(nets) < count {
+		net := netgen.ClusteredDriver(rng, 5+rng.Intn(4), die, 500)
+		// Reposition the driver into the east band to create the shared
+		// corridor.
+		net.Pins[0].X = 1200 + rng.Int63n(300)
+		cands, err := core.Route(net, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		if len(cands) < 2 {
+			continue
+		}
+		// Timing budget at 60% of the wire-optimal tree's slack.
+		minD := cands[len(cands)-1].Sol.D
+		maxD := cands[0].Sol.D
+		budget := minD + (maxD-minD)*3/5
+		nets = append(nets, groute.NetCandidates{Cands: cands, Budget: budget})
+	}
+
+	res := &GRouteResult{Nets: len(nets)}
+	type mode struct {
+		name   string
+		narrow func(groute.NetCandidates) groute.NetCandidates
+		passes int
+	}
+	modes := []mode{
+		{"min-wire topology only", func(nc groute.NetCandidates) groute.NetCandidates {
+			return groute.NetCandidates{Cands: nc.Cands[:1], Budget: nc.Budget}
+		}, 1},
+		{"min-delay topology only", func(nc groute.NetCandidates) groute.NetCandidates {
+			return groute.NetCandidates{Cands: nc.Cands[len(nc.Cands)-1:], Budget: nc.Budget}
+		}, 1},
+		{"Pareto candidate selection", func(nc groute.NetCandidates) groute.NetCandidates {
+			return nc
+		}, 5},
+	}
+	for _, m := range modes {
+		grid, err := groute.NewGrid(16, 16, die/16, die/16, 10)
+		if err != nil {
+			return nil, err
+		}
+		sel := make([]groute.NetCandidates, len(nets))
+		for i, nc := range nets {
+			sel[i] = m.narrow(nc)
+		}
+		_, r, err := groute.Select(grid, sel, m.passes)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, []string{
+			m.name,
+			fmt.Sprintf("%d", r.Overflow),
+			fmt.Sprintf("%d", r.MaxUse),
+			fmt.Sprintf("%d", r.TotalWire),
+			fmt.Sprintf("%d", r.BudgetMiss),
+		})
+		if m.name == "Pareto candidate selection" {
+			res.Heatmap = grid.Heatmap()
+			// Pattern rerouting on top of topology selection: rip up the
+			// chosen trees and re-embed each edge with the best of the
+			// L/Z patterns (internal/groute pattern routing).
+			grid2, err := groute.NewGrid(16, 16, die/16, die/16, 10)
+			if err != nil {
+				return nil, err
+			}
+			choice, _, err := groute.Select(grid2, sel, m.passes)
+			if err != nil {
+				return nil, err
+			}
+			trees := make([]*tree.Tree, len(sel))
+			var wire int64
+			miss := 0
+			for i, ci := range choice {
+				trees[i] = sel[i].Cands[ci].Val
+				wire += sel[i].Cands[ci].Sol.W
+				if sel[i].Budget > 0 && sel[i].Cands[ci].Sol.D > sel[i].Budget {
+					miss++
+				}
+			}
+			// Replace the L-embeddings Select applied with pattern routes.
+			for i, ci := range choice {
+				grid2.Remove(sel[i].Cands[ci].Val)
+			}
+			if _, err := groute.Reroute(grid2, trees, nil, 3, 3); err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, []string{
+				"  + L/Z pattern rerouting",
+				fmt.Sprintf("%d", grid2.Overflow()),
+				fmt.Sprintf("%d", grid2.MaxUse()),
+				fmt.Sprintf("%d", wire),
+				fmt.Sprintf("%d", miss),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Render renders the extension experiment.
+func (r *GRouteResult) Render() string {
+	out := fmt.Sprintf("Extension — global-routing topology selection (%d nets, timing budgets)\n", r.Nets)
+	out += textplot.Table(
+		[]string{"topology source", "overflow", "max use", "total wire", "budget misses"},
+		r.Rows)
+	out += r.Heatmap
+	return out
+}

@@ -1,0 +1,132 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"patlabor/internal/core"
+	"patlabor/internal/netgen"
+	"patlabor/internal/pareto"
+	"patlabor/internal/policy"
+	"patlabor/internal/rsmt"
+	"patlabor/internal/stats"
+	"patlabor/internal/textplot"
+	"patlabor/internal/tree"
+)
+
+// Thm5Result verifies Theorem 5 empirically: the generalisation gap of the
+// learned selection policy — |mean training performance − mean test
+// performance| — shrinks as the number of training samples m grows
+// (the theorem bounds it by Õ(√(n/m))).
+type Thm5Result struct {
+	Degree int
+	M      []int
+	Train  []float64
+	Test   []float64
+	Gap    []float64
+	Bound  []float64 // √(n/m), the theorem's shape
+}
+
+// RunThm5 trains the policy on m instances for several m and measures the
+// gap on a fixed held-out set.
+func RunThm5(cfg Config, degree int, ms []int, testSize int) (*Thm5Result, error) {
+	if degree < 10 {
+		degree = 12
+	}
+	if len(ms) == 0 {
+		ms = []int{4, 8, 16, 32}
+	}
+	if testSize <= 0 {
+		testSize = 40
+	}
+	if cfg.Quick {
+		ms = ms[:2]
+		testSize = 10
+	}
+	gen := func(rng *rand.Rand, n int) tree.Net {
+		return netgen.ClusteredDriver(rng, n, 100000, 5000)
+	}
+	eval := func(net tree.Net, base *tree.Tree, sel []int) float64 {
+		ref := pareto.Sol{W: base.Wirelength() * 2, D: base.MaxDelay() * 2}
+		hv, err := core.StepHypervolume(net, base, sel, ref)
+		if err != nil {
+			return 0
+		}
+		// Normalise by the reference area so instances are comparable.
+		return hv / (float64(ref.W) * float64(ref.D))
+	}
+	// Held-out test set, fixed across m.
+	testRng := rand.New(rand.NewSource(555))
+	type inst struct {
+		net  tree.Net
+		base *tree.Tree
+	}
+	tests := make([]inst, testSize)
+	for i := range tests {
+		tests[i].net = gen(testRng, degree)
+		tests[i].base = rsmt.Tree(tests[i].net)
+	}
+	res := &Thm5Result{Degree: degree}
+	k := core.DefaultLambda - 1
+	for _, m := range ms {
+		cfg := policy.TrainConfig{
+			Degrees:   []int{degree},
+			Instances: m,
+			Samples:   8,
+			K:         k,
+			Seed:      int64(1000 + m),
+			Gen:       gen,
+			Base:      func(net tree.Net) *tree.Tree { return rsmt.Tree(net) },
+			Eval:      eval,
+		}
+		params, err := policy.Train(cfg)
+		if err != nil {
+			return nil, err
+		}
+		p := params[degree]
+		// Training performance: the trained policy's selections on the
+		// same distribution slice it was trained on.
+		trainRng := rand.New(rand.NewSource(int64(1000 + m)))
+		var trainPerf []float64
+		for i := 0; i < m; i++ {
+			net := gen(trainRng, degree)
+			base := rsmt.Tree(net)
+			sel := policy.Select(net, base, k, p)
+			trainPerf = append(trainPerf, eval(net, base, sel))
+		}
+		var testPerf []float64
+		for _, ti := range tests {
+			sel := policy.Select(ti.net, ti.base, k, p)
+			testPerf = append(testPerf, eval(ti.net, ti.base, sel))
+		}
+		tr, te := stats.Mean(trainPerf), stats.Mean(testPerf)
+		gap := tr - te
+		if gap < 0 {
+			gap = -gap
+		}
+		res.M = append(res.M, m)
+		res.Train = append(res.Train, tr)
+		res.Test = append(res.Test, te)
+		res.Gap = append(res.Gap, gap)
+		res.Bound = append(res.Bound, math.Sqrt(float64(degree)/float64(m)))
+	}
+	return res, nil
+}
+
+// Render renders the Theorem 5 verification.
+func (r *Thm5Result) Render() string {
+	var rows [][]string
+	for i := range r.M {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", r.M[i]),
+			fmt.Sprintf("%.4f", r.Train[i]),
+			fmt.Sprintf("%.4f", r.Test[i]),
+			fmt.Sprintf("%.4f", r.Gap[i]),
+			fmt.Sprintf("%.2f", r.Bound[i]),
+		})
+	}
+	return fmt.Sprintf("Theorem 5 — policy generalisation gap (degree %d)\n", r.Degree) +
+		textplot.Table([]string{"m (train size)", "train perf", "test perf", "|gap|", "√(n/m) shape"}, rows) +
+		"the gap must shrink roughly like √(n/m) as training data grows\n"
+}

@@ -1,0 +1,252 @@
+// Package groute is a compact global-routing substrate: a G-cell grid
+// with per-edge capacities, tree embedding, overflow accounting and a
+// rip-up-and-reselect topology selector that chooses, per net, one
+// candidate from a Pareto set under congestion and timing constraints.
+//
+// It realises the paper's motivating application (§I): "selecting net
+// topologies from a candidate solution set may improve the performance of
+// global routers" — the selector consumes exactly the candidate sets
+// PatLabor produces.
+package groute
+
+import (
+	"fmt"
+
+	"patlabor/internal/geom"
+	"patlabor/internal/pareto"
+	"patlabor/internal/tree"
+)
+
+// Grid is a global-routing grid of NX×NY cells whose boundary crossings
+// have uniform capacity Cap. Horizontal edge (x,y)-(x+1,y) and vertical
+// edge (x,y)-(x,y+1) usages are tracked separately.
+type Grid struct {
+	NX, NY       int
+	CellW, CellH int64
+	Cap          int
+	hUse         []int // (NX-1)*NY
+	vUse         []int // NX*(NY-1)
+}
+
+// NewGrid builds an empty grid. All dimensions must be positive.
+func NewGrid(nx, ny int, cellW, cellH int64, capacity int) (*Grid, error) {
+	if nx < 1 || ny < 1 || cellW < 1 || cellH < 1 || capacity < 0 {
+		return nil, fmt.Errorf("groute: invalid grid %dx%d cell %dx%d cap %d",
+			nx, ny, cellW, cellH, capacity)
+	}
+	return &Grid{
+		NX: nx, NY: ny, CellW: cellW, CellH: cellH, Cap: capacity,
+		hUse: make([]int, (nx-1)*ny),
+		vUse: make([]int, nx*(ny-1)),
+	}, nil
+}
+
+// CellOf maps a plane point to its grid cell, clamped to the grid.
+func (g *Grid) CellOf(p geom.Point) (int, int) {
+	x := int(p.X / g.CellW)
+	y := int(p.Y / g.CellH)
+	return clamp(x, 0, g.NX-1), clamp(y, 0, g.NY-1)
+}
+
+func clamp(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// apply embeds every tree edge as an L-shape in cell space (horizontal
+// run first, then vertical at the target column) and adds delta to each
+// crossed grid edge.
+func (g *Grid) apply(t *tree.Tree, delta int) {
+	for i, par := range t.Parent {
+		if par < 0 {
+			continue
+		}
+		x1, y1 := g.CellOf(t.Nodes[par].P)
+		x2, y2 := g.CellOf(t.Nodes[i].P)
+		g.applySegment(x1, y1, x2, y2, delta)
+	}
+}
+
+func (g *Grid) applySegment(x1, y1, x2, y2, delta int) {
+	lo, hi := x1, x2
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	for x := lo; x < hi; x++ {
+		g.hUse[y1*(g.NX-1)+x] += delta
+	}
+	lo, hi = y1, y2
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	for y := lo; y < hi; y++ {
+		g.vUse[y*g.NX+x2] += delta
+	}
+}
+
+// Add embeds the tree, increasing edge usage.
+func (g *Grid) Add(t *tree.Tree) { g.apply(t, 1) }
+
+// Remove un-embeds a previously added tree.
+func (g *Grid) Remove(t *tree.Tree) { g.apply(t, -1) }
+
+// Overflow returns the total usage above capacity across all grid edges.
+func (g *Grid) Overflow() int {
+	o := 0
+	for _, u := range g.hUse {
+		if u > g.Cap {
+			o += u - g.Cap
+		}
+	}
+	for _, u := range g.vUse {
+		if u > g.Cap {
+			o += u - g.Cap
+		}
+	}
+	return o
+}
+
+// MaxUse returns the largest single-edge usage.
+func (g *Grid) MaxUse() int {
+	m := 0
+	for _, u := range g.hUse {
+		if u > m {
+			m = u
+		}
+	}
+	for _, u := range g.vUse {
+		if u > m {
+			m = u
+		}
+	}
+	return m
+}
+
+// marginalCost returns the overflow a tree would add if embedded now.
+func (g *Grid) marginalCost(t *tree.Tree) int {
+	cost := 0
+	count := func(use int) {
+		if use >= g.Cap {
+			cost++
+		}
+	}
+	for i, par := range t.Parent {
+		if par < 0 {
+			continue
+		}
+		x1, y1 := g.CellOf(t.Nodes[par].P)
+		x2, y2 := g.CellOf(t.Nodes[i].P)
+		lo, hi := x1, x2
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		for x := lo; x < hi; x++ {
+			count(g.hUse[y1*(g.NX-1)+x])
+		}
+		lo, hi = y1, y2
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		for y := lo; y < hi; y++ {
+			count(g.vUse[y*g.NX+x2])
+		}
+	}
+	return cost
+}
+
+// NetCandidates is one net's Pareto candidate set plus an optional delay
+// budget (0 = unconstrained). Candidates must be in canonical order.
+type NetCandidates struct {
+	Cands  []pareto.Item[*tree.Tree]
+	Budget int64
+}
+
+// Result summarises a topology selection.
+type Result struct {
+	Overflow   int
+	MaxUse     int
+	TotalWire  int64
+	BudgetMiss int
+	Passes     int
+}
+
+// Select picks one candidate per net minimising (overflow, wirelength)
+// subject to each net's delay budget, by greedy insertion followed by
+// rip-up-and-reselect passes. It returns the chosen candidate index per
+// net and the final accounting. Nets whose budget no candidate meets use
+// their fastest candidate and count as budget misses.
+func Select(g *Grid, nets []NetCandidates, passes int) ([]int, Result, error) {
+	choice := make([]int, len(nets))
+	for i, nc := range nets {
+		if len(nc.Cands) == 0 {
+			return nil, Result{}, fmt.Errorf("groute: net %d has no candidates", i)
+		}
+		choice[i] = pickInitial(nc)
+		g.Add(nc.Cands[choice[i]].Val)
+	}
+	if passes < 1 {
+		passes = 3
+	}
+	done := 0
+	for pass := 0; pass < passes; pass++ {
+		changed := false
+		for i, nc := range nets {
+			if len(nc.Cands) == 1 {
+				continue
+			}
+			cur := choice[i]
+			g.Remove(nc.Cands[cur].Val)
+			best, bestCost, bestW := -1, 0, int64(0)
+			for ci, c := range nc.Cands {
+				if !meets(nc, ci) {
+					continue
+				}
+				cost := g.marginalCost(c.Val)
+				if best < 0 || cost < bestCost || (cost == bestCost && c.Sol.W < bestW) {
+					best, bestCost, bestW = ci, cost, c.Sol.W
+				}
+			}
+			if best < 0 {
+				best = len(nc.Cands) - 1 // fastest candidate as fallback
+			}
+			g.Add(nc.Cands[best].Val)
+			if best != cur {
+				changed = true
+			}
+			choice[i] = best
+		}
+		done = pass + 1
+		if !changed {
+			break
+		}
+	}
+	res := Result{Overflow: g.Overflow(), MaxUse: g.MaxUse(), Passes: done}
+	for i, nc := range nets {
+		c := nc.Cands[choice[i]]
+		res.TotalWire += c.Sol.W
+		if nc.Budget > 0 && c.Sol.D > nc.Budget {
+			res.BudgetMiss++
+		}
+	}
+	return choice, res, nil
+}
+
+// pickInitial selects the cheapest candidate meeting the budget (or the
+// fastest when none does).
+func pickInitial(nc NetCandidates) int {
+	for ci := range nc.Cands {
+		if meets(nc, ci) {
+			return ci
+		}
+	}
+	return len(nc.Cands) - 1
+}
+
+func meets(nc NetCandidates, ci int) bool {
+	return nc.Budget <= 0 || nc.Cands[ci].Sol.D <= nc.Budget
+}

@@ -1,0 +1,152 @@
+package groute
+
+import (
+	"math/rand"
+	"testing"
+
+	"patlabor/internal/geom"
+	"patlabor/internal/tree"
+)
+
+func TestEdgePatterns(t *testing.T) {
+	// Straight edges: a single candidate.
+	if p := edgePatterns(0, 0, 3, 0, 2); len(p) != 1 || len(p[0]) != 1 {
+		t.Fatalf("straight = %+v", p)
+	}
+	// Same cell: nothing.
+	if p := edgePatterns(1, 1, 1, 1, 2); p != nil {
+		t.Fatalf("same-cell = %+v", p)
+	}
+	// Bent edges: 2 Ls plus Zs.
+	p := edgePatterns(0, 0, 4, 3, 2)
+	if len(p) < 2 {
+		t.Fatalf("bent = %d candidates", len(p))
+	}
+	// Every candidate connects the endpoints with straight runs of the
+	// same total cell length.
+	wantLen := 4 + 3
+	for ci, cand := range p {
+		length := 0
+		cur := [2]int{0, 0}
+		for _, s := range cand {
+			if s.X1 != cur[0] || s.Y1 != cur[1] {
+				t.Fatalf("candidate %d discontinuous: %+v", ci, cand)
+			}
+			if s.X1 != s.X2 && s.Y1 != s.Y2 {
+				t.Fatalf("candidate %d has a diagonal segment: %+v", ci, s)
+			}
+			length += abs(s.X2-s.X1) + abs(s.Y2-s.Y1)
+			cur = [2]int{s.X2, s.Y2}
+		}
+		if cur != [2]int{4, 3} {
+			t.Fatalf("candidate %d ends at %v", ci, cur)
+		}
+		if length != wantLen {
+			t.Fatalf("candidate %d length %d, want %d", ci, length, wantLen)
+		}
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestJogPositions(t *testing.T) {
+	if jogPositions(0, 1, 3) != nil {
+		t.Fatal("adjacent cells cannot jog")
+	}
+	if got := jogPositions(0, 3, 5); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("all-interior = %v", got)
+	}
+	got := jogPositions(0, 10, 3)
+	if len(got) != 3 {
+		t.Fatalf("spaced = %v", got)
+	}
+	for _, m := range got {
+		if m <= 0 || m >= 10 {
+			t.Fatalf("jog %d outside interior", m)
+		}
+	}
+}
+
+func TestEmbedBestAndRemoveRestores(t *testing.T) {
+	g := mustGrid(t, 8, 8, 10, 10, 1)
+	net := tree.NewNet(geom.Pt(5, 5), geom.Pt(75, 65), geom.Pt(15, 75))
+	tr := tree.Star(net)
+	e := g.EmbedBest(tr, 2)
+	if len(e.Segs) == 0 {
+		t.Fatal("empty embedding")
+	}
+	if g.MaxUse() == 0 {
+		t.Fatal("embedding used no edges")
+	}
+	g.RemoveEmbedding(e)
+	if g.MaxUse() != 0 || g.Overflow() != 0 {
+		t.Fatal("RemoveEmbedding did not restore usage")
+	}
+}
+
+func TestEmbedBestAvoidsCongestion(t *testing.T) {
+	// Saturate the straight corridor; the pattern router must jog around.
+	g := mustGrid(t, 6, 6, 10, 10, 1)
+	// A blocking wire along row 2 (cells (0,2)..(5,2)).
+	block := tree.Star(tree.NewNet(geom.Pt(5, 25), geom.Pt(55, 25)))
+	g.Add(block)
+	// A bent edge whose lower-L would ride the blocked row.
+	net := tree.NewNet(geom.Pt(5, 25), geom.Pt(55, 45))
+	tr := tree.Star(net)
+	e := g.EmbedBest(tr, 3)
+	if g.Overflow() != 0 {
+		t.Fatalf("pattern router overflowed: %d (embedding %+v)", g.Overflow(), e.Segs)
+	}
+}
+
+func TestRerouteReducesOverflow(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := mustGrid(t, 10, 10, 10, 10, 2)
+	var trees []*tree.Tree
+	for i := 0; i < 25; i++ {
+		pins := make([]geom.Point, 3)
+		for j := range pins {
+			pins[j] = geom.Pt(rng.Int63n(100), rng.Int63n(100))
+		}
+		trees = append(trees, tree.Star(tree.Net{Pins: pins}))
+	}
+	// Initial: plain L embeddings.
+	embeds := make([]*TreeEmbedding, len(trees))
+	for i, tr := range trees {
+		embeds[i] = g.EmbedBest(tr, 0)
+	}
+	before := g.Overflow()
+	embeds, err := Reroute(g, trees, embeds, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := g.Overflow()
+	if after > before {
+		t.Fatalf("Reroute increased overflow %d -> %d", before, after)
+	}
+	// Accounting stays consistent: removing everything restores zero.
+	for _, e := range embeds {
+		g.RemoveEmbedding(e)
+	}
+	if g.MaxUse() != 0 {
+		t.Fatal("usage not restored after removing all embeddings")
+	}
+}
+
+func TestRerouteValidation(t *testing.T) {
+	g := mustGrid(t, 4, 4, 10, 10, 1)
+	tr := tree.Star(tree.NewNet(geom.Pt(0, 0), geom.Pt(30, 30)))
+	if _, err := Reroute(g, []*tree.Tree{tr}, []*TreeEmbedding{}, 1, 1); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	// nil embeddings bootstrap from scratch.
+	embeds, err := Reroute(g, []*tree.Tree{tr}, nil, 1, 1)
+	if err != nil || len(embeds) != 1 {
+		t.Fatalf("bootstrap: %v, %d embeddings", err, len(embeds))
+	}
+}

@@ -1,0 +1,49 @@
+package groute
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Heatmap renders per-cell congestion as ASCII art: each cell shows the
+// worst utilisation of its outgoing (east/north) boundary crossings, on
+// the scale " .:-=+*#%@" (empty → ≥2× capacity). Row 0 (lowest y) prints
+// at the bottom.
+func (g *Grid) Heatmap() string {
+	const ramp = " .:-=+*#%@"
+	level := func(use int) byte {
+		if g.Cap == 0 {
+			if use > 0 {
+				return ramp[len(ramp)-1]
+			}
+			return ramp[0]
+		}
+		idx := use * (len(ramp) - 1) / (2 * g.Cap)
+		if idx >= len(ramp) {
+			idx = len(ramp) - 1
+		}
+		return ramp[idx]
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "congestion heatmap (%dx%d cells, capacity %d)\n", g.NX, g.NY, g.Cap)
+	for y := g.NY - 1; y >= 0; y-- {
+		b.WriteString("  ")
+		for x := 0; x < g.NX; x++ {
+			use := 0
+			if x < g.NX-1 {
+				if u := g.hUse[y*(g.NX-1)+x]; u > use {
+					use = u
+				}
+			}
+			if y < g.NY-1 {
+				if u := g.vUse[y*g.NX+x]; u > use {
+					use = u
+				}
+			}
+			b.WriteByte(level(use))
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("  scale: ' '=0 … '@'>=2x capacity\n")
+	return b.String()
+}

@@ -1,0 +1,254 @@
+package hanan
+
+import (
+	"math/rand"
+	"testing"
+
+	"patlabor/internal/geom"
+	"patlabor/internal/tree"
+)
+
+func TestGridBasics(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(5, 2), geom.Pt(3, 7), geom.Pt(5, 7)}
+	g := NewGrid(pts)
+	if len(g.Xs) != 3 || len(g.Ys) != 3 {
+		t.Fatalf("grid lines = %v x %v", g.Xs, g.Ys)
+	}
+	if g.NumNodes() != 9 {
+		t.Fatalf("NumNodes = %d, want 9", g.NumNodes())
+	}
+	for _, p := range pts {
+		idx, err := g.Locate(p)
+		if err != nil {
+			t.Fatalf("Locate(%v): %v", p, err)
+		}
+		if g.Point(idx) != p {
+			t.Fatalf("Point(Locate(%v)) = %v", p, g.Point(idx))
+		}
+	}
+	if _, err := g.Locate(geom.Pt(1, 1)); err == nil {
+		t.Fatal("Locate accepted an off-grid point")
+	}
+	a, _ := g.Locate(geom.Pt(0, 0))
+	b, _ := g.Locate(geom.Pt(5, 7))
+	if g.Dist(a, b) != 12 {
+		t.Fatalf("Dist = %d, want 12", g.Dist(a, b))
+	}
+}
+
+func TestGridCoordsRoundTrip(t *testing.T) {
+	g := NewGrid([]geom.Point{geom.Pt(0, 0), geom.Pt(1, 2), geom.Pt(4, 5), geom.Pt(9, 3)})
+	for idx := 0; idx < g.NumNodes(); idx++ {
+		i, j := g.Coords(idx)
+		if g.Node(i, j) != idx {
+			t.Fatalf("Coords/Node round trip failed at %d", idx)
+		}
+	}
+}
+
+func TestRanksOf(t *testing.T) {
+	// Pins: source (5,5); sinks (0,0), (10,2).
+	net := tree.NewNet(geom.Pt(5, 5), geom.Pt(0, 0), geom.Pt(10, 2))
+	r := RanksOf(net)
+	if r.Pattern.N != 3 {
+		t.Fatalf("N = %d", r.Pattern.N)
+	}
+	// x order: (0,0)=pin1, (5,5)=pin0, (10,2)=pin2 -> source x-rank 1.
+	if r.Pattern.Src != 1 {
+		t.Fatalf("Src = %d, want 1", r.Pattern.Src)
+	}
+	// y ranks: pin1 y=0 -> 0, pin2 y=2 -> 1, pin0 y=5 -> 2.
+	want := []uint8{0, 2, 1}
+	for i := range want {
+		if r.Pattern.Perm[i] != want[i] {
+			t.Fatalf("Perm = %v, want %v", r.Pattern.Perm, want)
+		}
+	}
+	if r.H[0] != 5 || r.H[1] != 5 || r.V[0] != 2 || r.V[1] != 3 {
+		t.Fatalf("gaps H=%v V=%v", r.H, r.V)
+	}
+	if !r.Pattern.Valid() {
+		t.Fatal("pattern invalid")
+	}
+}
+
+func TestRanksOfTies(t *testing.T) {
+	// Two pins share x; ranks must still be a permutation, gap zero.
+	net := tree.NewNet(geom.Pt(0, 0), geom.Pt(0, 5), geom.Pt(3, 2))
+	r := RanksOf(net)
+	if !r.Pattern.Valid() {
+		t.Fatalf("pattern with ties invalid: %v", r.Pattern)
+	}
+	if r.H[0] != 0 {
+		t.Fatalf("tied gap H[0] = %d, want 0", r.H[0])
+	}
+}
+
+func TestTransformApplyInvert(t *testing.T) {
+	n := 5
+	for _, tr := range AllTransforms() {
+		inv := tr.Invert()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				ai, aj := tr.Apply(n, i, j)
+				bi, bj := inv.Apply(n, ai, aj)
+				if bi != i || bj != j {
+					t.Fatalf("transform %+v: invert failed at (%d,%d) -> (%d,%d) -> (%d,%d)",
+						tr, i, j, ai, aj, bi, bj)
+				}
+			}
+		}
+	}
+}
+
+func TestTransformPatternBijective(t *testing.T) {
+	p := Pattern{N: 4, Perm: []uint8{2, 0, 3, 1}, Src: 2}
+	for _, tr := range AllTransforms() {
+		q := TransformPattern(p, tr)
+		if !q.Valid() {
+			t.Fatalf("transform %+v produced invalid pattern %v", tr, q)
+		}
+		back := TransformPattern(q, tr.Invert())
+		if back.Key() != p.Key() {
+			t.Fatalf("transform %+v not invertible: %v -> %v -> %v", tr, p, q, back)
+		}
+	}
+}
+
+func TestCanonicalIsIdempotentAndInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		n := 3 + rng.Intn(4)
+		perm := rng.Perm(n)
+		p := Pattern{N: n, Perm: make([]uint8, n), Src: uint8(rng.Intn(n))}
+		for i, v := range perm {
+			p.Perm[i] = uint8(v)
+		}
+		c, tr := Canonical(p)
+		if TransformPattern(p, tr).Key() != c.Key() {
+			t.Fatal("returned transform does not map to the canonical pattern")
+		}
+		// Canonical of any transformed variant is the same pattern.
+		for _, u := range AllTransforms() {
+			c2, _ := Canonical(TransformPattern(p, u))
+			if c2.Key() != c.Key() {
+				t.Fatalf("canonical not invariant under %+v: %v vs %v", u, c2, c)
+			}
+		}
+		cc, _ := Canonical(c)
+		if cc.Key() != c.Key() {
+			t.Fatal("Canonical not idempotent")
+		}
+	}
+}
+
+func TestApplyLengthsRoundTrip(t *testing.T) {
+	h := []int64{1, 2, 3}
+	v := []int64{4, 5, 6}
+	for _, tr := range AllTransforms() {
+		hh, vv := tr.ApplyLengths(h, v)
+		h2, v2 := tr.Invert().ApplyLengths(hh, vv)
+		for k := range h {
+			if h2[k] != h[k] || v2[k] != v[k] {
+				t.Fatalf("transform %+v: lengths round trip failed: %v %v", tr, h2, v2)
+			}
+		}
+	}
+}
+
+func TestApplyLengthsMatchesGeometry(t *testing.T) {
+	// Transforming an instance geometrically must give the same gaps as
+	// ApplyLengths on the original gaps.
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + rng.Intn(4)
+		net := randomGeneralNet(rng, n)
+		r := RanksOf(net)
+		for _, tr := range AllTransforms() {
+			tnet := transformNet(net, tr)
+			tr2 := RanksOf(tnet)
+			hh, vv := tr.ApplyLengths(r.H, r.V)
+			for k := 0; k < n-1; k++ {
+				if tr2.H[k] != hh[k] || tr2.V[k] != vv[k] {
+					t.Fatalf("trial %d transform %+v: geometric gaps H=%v V=%v, ApplyLengths H=%v V=%v",
+						trial, tr, tr2.H, tr2.V, hh, vv)
+				}
+			}
+			// Pattern must match too.
+			if TransformPattern(r.Pattern, tr).Key() != tr2.Pattern.Key() {
+				t.Fatalf("trial %d transform %+v: pattern mismatch", trial, tr)
+			}
+		}
+	}
+}
+
+// randomGeneralNet returns a net with pairwise distinct x and y coords.
+func randomGeneralNet(rng *rand.Rand, n int) tree.Net {
+	xs := rng.Perm(100)[:n]
+	ys := rng.Perm(100)[:n]
+	pins := make([]geom.Point, n)
+	for i := range pins {
+		pins[i] = geom.Pt(int64(xs[i]), int64(ys[i]))
+	}
+	return tree.Net{Pins: pins}
+}
+
+// transformNet applies the rank-grid transform geometrically: transpose
+// swaps coordinates, flips negate them.
+func transformNet(net tree.Net, tr Transform) tree.Net {
+	pins := make([]geom.Point, len(net.Pins))
+	for i, p := range net.Pins {
+		q := p
+		if tr.Transpose {
+			q.X, q.Y = q.Y, q.X
+		}
+		if tr.FlipX {
+			q.X = -q.X
+		}
+		if tr.FlipY {
+			q.Y = -q.Y
+		}
+		pins[i] = q
+	}
+	return tree.Net{Pins: pins}
+}
+
+func TestAllPatternsCount(t *testing.T) {
+	if got := len(AllPatterns(3)); got != 6*3 {
+		t.Fatalf("AllPatterns(3) = %d, want 18", got)
+	}
+	if got := len(AllPatterns(4)); got != 24*4 {
+		t.Fatalf("AllPatterns(4) = %d, want 96", got)
+	}
+}
+
+func TestCanonicalPatternsCoverAll(t *testing.T) {
+	for n := 2; n <= 5; n++ {
+		canon := CanonicalPatterns(n)
+		keys := make(map[string]bool)
+		for _, c := range canon {
+			keys[c.Key()] = true
+		}
+		for _, p := range AllPatterns(n) {
+			c, _ := Canonical(p)
+			if !keys[c.Key()] {
+				t.Fatalf("n=%d: pattern %v canonicalises outside the canonical set", n, p)
+			}
+		}
+		// Symmetry classes have size at most 8, so the reduction is bounded.
+		if len(canon)*8 < len(AllPatterns(n)) {
+			t.Fatalf("n=%d: too few canonical patterns: %d classes for %d patterns",
+				n, len(canon), len(AllPatterns(n)))
+		}
+	}
+}
+
+func TestCanonicalPatternCounts(t *testing.T) {
+	// Deterministic class counts; recorded for Table II comparisons.
+	got4 := len(CanonicalPatterns(4))
+	got5 := len(CanonicalPatterns(5))
+	if got4 <= 0 || got5 <= 0 || got4 >= 96 || got5 >= 600 {
+		t.Fatalf("unexpected canonical counts: n=4: %d, n=5: %d", got4, got5)
+	}
+	t.Logf("canonical pattern classes: n=4: %d, n=5: %d", got4, got5)
+}

@@ -1,0 +1,117 @@
+package hanan
+
+import (
+	"fmt"
+	"sort"
+
+	"patlabor/internal/geom"
+	"patlabor/internal/tree"
+)
+
+// Pattern is the combinatorial shape of a degree-n instance: pins are
+// identified by their x-rank 0..n-1; Perm[i] is the y-rank of the pin at
+// x-rank i; Src is the x-rank of the source pin. Coordinate ties are
+// broken by pin index, so a Pattern always encodes a full permutation
+// (tied coordinates simply produce zero gap lengths).
+type Pattern struct {
+	N    int
+	Perm []uint8
+	Src  uint8
+}
+
+// Key returns a compact unique encoding usable as a map key.
+func (p Pattern) Key() string {
+	b := make([]byte, 0, p.N+2)
+	b = append(b, byte(p.N), byte(p.Src))
+	for _, v := range p.Perm {
+		b = append(b, byte(v))
+	}
+	return string(b)
+}
+
+// String renders the pattern for diagnostics, e.g. "n=4 src=2 perm=[1 0 3 2]".
+func (p Pattern) String() string {
+	return fmt.Sprintf("n=%d src=%d perm=%v", p.N, p.Src, p.Perm)
+}
+
+// Valid reports whether Perm is a permutation of 0..N-1 and Src < N.
+func (p Pattern) Valid() bool {
+	if len(p.Perm) != p.N || int(p.Src) >= p.N {
+		return false
+	}
+	seen := make([]bool, p.N)
+	for _, v := range p.Perm {
+		if int(v) >= p.N || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// Ranks is the rank-space view of a concrete instance: the pattern, the
+// symbolic gap lengths, and the rank coordinates of every pin.
+//
+// Gap lengths follow the paper's l_1..l_{2n-2} convention stored
+// zero-based: H[k] = x_{(k+1)} - x_{(k)} for k in 0..n-2 (horizontal grid
+// spacing) and V[k] = y_{(k+1)} - y_{(k)} (vertical spacing).
+type Ranks struct {
+	Pattern Pattern
+	H, V    []int64
+	// XRank[p], YRank[p] give the rank coordinates of pin p.
+	XRank, YRank []int
+	// Xs, Ys are the rank->coordinate tables (with ties, entries repeat).
+	Xs, Ys []int64
+}
+
+// RanksOf computes the rank-space view of a net. The source (pin 0) may
+// sit anywhere in the pin list.
+func RanksOf(net tree.Net) Ranks {
+	n := net.Degree()
+	xr := rankBy(net.Pins, func(p geom.Point) int64 { return p.X })
+	yr := rankBy(net.Pins, func(p geom.Point) int64 { return p.Y })
+	perm := make([]uint8, n)
+	for pin := 0; pin < n; pin++ {
+		perm[xr[pin]] = uint8(yr[pin])
+	}
+	xs := make([]int64, n)
+	ys := make([]int64, n)
+	for pin := 0; pin < n; pin++ {
+		xs[xr[pin]] = net.Pins[pin].X
+		ys[yr[pin]] = net.Pins[pin].Y
+	}
+	h := make([]int64, n-1)
+	v := make([]int64, n-1)
+	for k := 0; k < n-1; k++ {
+		h[k] = xs[k+1] - xs[k]
+		v[k] = ys[k+1] - ys[k]
+	}
+	return Ranks{
+		Pattern: Pattern{N: n, Perm: perm, Src: uint8(xr[0])},
+		H:       h, V: v,
+		XRank: xr, YRank: yr,
+		Xs: xs, Ys: ys,
+	}
+}
+
+// rankBy assigns each pin a distinct rank 0..n-1 ordered by coord(p),
+// ties broken by pin index.
+func rankBy(pins []geom.Point, coord func(geom.Point) int64) []int {
+	n := len(pins)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ca, cb := coord(pins[idx[a]]), coord(pins[idx[b]])
+		if ca != cb {
+			return ca < cb
+		}
+		return idx[a] < idx[b]
+	})
+	rank := make([]int, n)
+	for r, pin := range idx {
+		rank[pin] = r
+	}
+	return rank
+}

@@ -1,0 +1,153 @@
+package hanan
+
+// Transform is one of the 8 symmetries of the rank grid (the dihedral
+// group of the square): an optional transpose (swap of the x and y roles)
+// followed by optional flips of each axis. Two instances whose patterns
+// differ only by such a transform share the same set of Pareto-optimal
+// topologies up to relabelling, so lookup tables store one canonical
+// representative per symmetry class (§V-A "breaking symmetries").
+type Transform struct {
+	Transpose, FlipX, FlipY bool
+}
+
+// AllTransforms lists the 8 symmetries.
+func AllTransforms() []Transform {
+	out := make([]Transform, 0, 8)
+	for _, tr := range []bool{false, true} {
+		for _, fx := range []bool{false, true} {
+			for _, fy := range []bool{false, true} {
+				out = append(out, Transform{Transpose: tr, FlipX: fx, FlipY: fy})
+			}
+		}
+	}
+	return out
+}
+
+// Apply maps the rank pair (i, j) of an n×n rank grid through the
+// transform: transpose first, then the axis flips.
+func (t Transform) Apply(n, i, j int) (int, int) {
+	if t.Transpose {
+		i, j = j, i
+	}
+	if t.FlipX {
+		i = n - 1 - i
+	}
+	if t.FlipY {
+		j = n - 1 - j
+	}
+	return i, j
+}
+
+// Invert returns the inverse transform: u such that u.Apply undoes t.Apply.
+func (t Transform) Invert() Transform {
+	if !t.Transpose {
+		return t
+	}
+	return Transform{Transpose: true, FlipX: t.FlipY, FlipY: t.FlipX}
+}
+
+// ApplyLengths maps gap-length vectors through the transform: transpose
+// swaps the horizontal and vertical gaps, flips reverse them. Fresh slices
+// are returned; the inputs are not modified.
+func (t Transform) ApplyLengths(h, v []int64) (hh, vv []int64) {
+	hh = append([]int64(nil), h...)
+	vv = append([]int64(nil), v...)
+	if t.Transpose {
+		hh, vv = vv, hh
+	}
+	if t.FlipX {
+		reverse(hh)
+	}
+	if t.FlipY {
+		reverse(vv)
+	}
+	return hh, vv
+}
+
+func reverse(x []int64) {
+	for i, j := 0, len(x)-1; i < j; i, j = i+1, j-1 {
+		x[i], x[j] = x[j], x[i]
+	}
+}
+
+// TransformPattern maps a pattern through t, returning the pattern of the
+// transformed instance.
+func TransformPattern(p Pattern, t Transform) Pattern {
+	n := p.N
+	perm := make([]uint8, n)
+	var src uint8
+	for i := 0; i < n; i++ {
+		ni, nj := t.Apply(n, i, int(p.Perm[i]))
+		perm[ni] = uint8(nj)
+		if uint8(i) == p.Src {
+			src = uint8(ni)
+		}
+	}
+	return Pattern{N: n, Perm: perm, Src: src}
+}
+
+// Canonical returns the lexicographically smallest pattern reachable from
+// p by a symmetry, together with the transform that maps p onto it.
+func Canonical(p Pattern) (Pattern, Transform) {
+	best := p
+	bestT := Transform{}
+	bestKey := p.Key()
+	for _, t := range AllTransforms() {
+		q := TransformPattern(p, t)
+		if k := q.Key(); k < bestKey {
+			best, bestT, bestKey = q, t, k
+		}
+	}
+	return best, bestT
+}
+
+// AllPatterns enumerates every pattern of degree n (n! permutations × n
+// source choices). Intended for small n only (LUT generation).
+func AllPatterns(n int) []Pattern {
+	perms := permutations(n)
+	out := make([]Pattern, 0, len(perms)*n)
+	for _, perm := range perms {
+		for s := 0; s < n; s++ {
+			out = append(out, Pattern{N: n, Perm: append([]uint8(nil), perm...), Src: uint8(s)})
+		}
+	}
+	return out
+}
+
+// CanonicalPatterns enumerates the canonical representatives of the
+// symmetry classes of degree-n patterns, in deterministic order.
+func CanonicalPatterns(n int) []Pattern {
+	seen := make(map[string]bool)
+	var out []Pattern
+	for _, p := range AllPatterns(n) {
+		c, _ := Canonical(p)
+		k := c.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func permutations(n int) [][]uint8 {
+	cur := make([]uint8, n)
+	for i := range cur {
+		cur[i] = uint8(i)
+	}
+	var out [][]uint8
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			out = append(out, append([]uint8(nil), cur...))
+			return
+		}
+		for i := k; i < n; i++ {
+			cur[k], cur[i] = cur[i], cur[k]
+			rec(k + 1)
+			cur[k], cur[i] = cur[i], cur[k]
+		}
+	}
+	rec(0)
+	return out
+}

@@ -1,0 +1,301 @@
+// Package lut implements the lookup tables of §V-A: for every canonical
+// Hanan pattern of a small degree, the table stores all potentially
+// Pareto-optimal tree topologies, produced by the symbolic Pareto-DW of
+// internal/param. Querying a net instantiates the stored topologies on the
+// net's concrete coordinates and Pareto-filters them, which yields the
+// exact Pareto frontier together with one optimal tree per frontier point.
+//
+// Generation parallelises over patterns; tables serialise with
+// encoding/gob so cmd/lutgen can pre-generate higher degrees once and
+// reuse them across runs.
+package lut
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"patlabor/internal/hanan"
+	"patlabor/internal/param"
+	"patlabor/internal/pareto"
+	"patlabor/internal/tree"
+)
+
+// Table maps canonical pattern keys to their potentially Pareto-optimal
+// topologies. A Table may cover several degrees.
+type Table struct {
+	mu      sync.RWMutex
+	entries map[string][]param.Topology
+	degrees map[int]bool
+	stats   map[int]DegreeStats
+}
+
+// DegreeStats records the generation statistics reported in Table II of
+// the paper for one degree.
+type DegreeStats struct {
+	Degree    int
+	NumIndex  int           // number of canonical (r, P) classes
+	TotalTopo int           // total stored topologies
+	GenTime   time.Duration // wall-clock generation time
+	SampledOf int           // when only a sample of classes was generated: total classes
+}
+
+// AvgTopo returns the average number of stored topologies per index.
+func (s DegreeStats) AvgTopo() float64 {
+	if s.NumIndex == 0 {
+		return 0
+	}
+	return float64(s.TotalTopo) / float64(s.NumIndex)
+}
+
+// New returns an empty table.
+func New() *Table {
+	return &Table{
+		entries: map[string][]param.Topology{},
+		degrees: map[int]bool{},
+		stats:   map[int]DegreeStats{},
+	}
+}
+
+// Covers reports whether the table fully covers the given degree.
+func (t *Table) Covers(degree int) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.degrees[degree]
+}
+
+// Stats returns the generation statistics per degree, sorted by degree.
+func (t *Table) Stats() []DegreeStats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]DegreeStats, 0, len(t.stats))
+	for _, s := range t.stats {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Degree < out[j].Degree })
+	return out
+}
+
+// Generate builds the table for every canonical pattern of the given
+// degree using the given number of parallel workers (<=0 means GOMAXPROCS)
+// and merges it into t. Degrees 2 and 3 are trivial and fast; degree 7 is
+// the practical eager limit on one core (minutes).
+func (t *Table) Generate(degree, workers int) error {
+	return t.generate(degree, workers, 0)
+}
+
+// GenerateSample builds table entries for only the first `sample`
+// canonical patterns of the degree (in deterministic enumeration order).
+// The degree is NOT marked as covered; queries fall back. Used by the
+// Table II experiment to measure per-pattern cost at high degrees.
+func (t *Table) GenerateSample(degree, workers, sample int) error {
+	return t.generate(degree, workers, sample)
+}
+
+func (t *Table) generate(degree, workers, sample int) error {
+	if degree < 2 {
+		return fmt.Errorf("lut: cannot generate degree %d", degree)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	start := time.Now()
+	pats := hanan.CanonicalPatterns(degree)
+	total := len(pats)
+	if sample > 0 && sample < len(pats) {
+		pats = pats[:sample]
+	}
+	type result struct {
+		key   string
+		topos []param.Topology
+		err   error
+	}
+	jobs := make(chan hanan.Pattern)
+	results := make(chan result)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := range jobs {
+				topos, err := param.EnumeratePattern(p)
+				results <- result{key: p.Key(), topos: topos, err: err}
+			}
+		}()
+	}
+	go func() {
+		for _, p := range pats {
+			jobs <- p
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+	entries := make(map[string][]param.Topology, len(pats))
+	topoCount := 0
+	for r := range results {
+		if r.err != nil {
+			return r.err
+		}
+		entries[r.key] = r.topos
+		topoCount += len(r.topos)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for k, v := range entries {
+		t.entries[k] = v
+	}
+	st := DegreeStats{
+		Degree:    degree,
+		NumIndex:  len(pats),
+		TotalTopo: topoCount,
+		GenTime:   time.Since(start),
+	}
+	if sample > 0 && sample < total {
+		st.SampledOf = total
+	} else {
+		t.degrees[degree] = true
+	}
+	t.stats[degree] = st
+	return nil
+}
+
+// Query returns the exact Pareto frontier of the net with one optimal tree
+// per point, when the net's canonical pattern is present in the table.
+// The boolean is false when the pattern (or degree) is not covered.
+func (t *Table) Query(net tree.Net) ([]pareto.Item[*tree.Tree], bool, error) {
+	n := net.Degree()
+	if n < 2 {
+		return nil, false, nil
+	}
+	r := hanan.RanksOf(net)
+	canon, tf := hanan.Canonical(r.Pattern)
+	t.mu.RLock()
+	topos, ok := t.entries[canon.Key()]
+	t.mu.RUnlock()
+	if !ok {
+		return nil, false, nil
+	}
+	items := make([]pareto.Item[*tree.Tree], 0, len(topos))
+	for _, topo := range topos {
+		tr, err := topo.Instantiate(r, tf)
+		if err != nil {
+			return nil, false, fmt.Errorf("lut: instantiating pattern %v: %w", canon, err)
+		}
+		tr.Compact()
+		items = append(items, pareto.Item[*tree.Tree]{Sol: tr.Sol(), Val: tr})
+	}
+	return pareto.FilterItems(items), true, nil
+}
+
+// diskEntry is the gob wire form of one pattern entry.
+type diskEntry struct {
+	Key   string
+	Topos []param.Topology
+}
+
+// diskTable is the gob wire form of a whole table.
+type diskTable struct {
+	Entries []diskEntry
+	Degrees []int
+	Stats   []DegreeStats
+}
+
+// Save serialises the table.
+func (t *Table) Save(w io.Writer) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	dt := diskTable{}
+	keys := make([]string, 0, len(t.entries))
+	for k := range t.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		dt.Entries = append(dt.Entries, diskEntry{Key: k, Topos: t.entries[k]})
+	}
+	for d := range t.degrees {
+		dt.Degrees = append(dt.Degrees, d)
+	}
+	sort.Ints(dt.Degrees)
+	for _, s := range t.stats {
+		dt.Stats = append(dt.Stats, s)
+	}
+	sort.Slice(dt.Stats, func(i, j int) bool { return dt.Stats[i].Degree < dt.Stats[j].Degree })
+	return gob.NewEncoder(w).Encode(dt)
+}
+
+// Load reads a serialised table and merges it into t.
+func (t *Table) Load(r io.Reader) error {
+	var dt diskTable
+	if err := gob.NewDecoder(r).Decode(&dt); err != nil {
+		return fmt.Errorf("lut: decoding table: %w", err)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, e := range dt.Entries {
+		t.entries[e.Key] = e.Topos
+	}
+	for _, d := range dt.Degrees {
+		t.degrees[d] = true
+	}
+	for _, s := range dt.Stats {
+		t.stats[s.Degree] = s
+	}
+	return nil
+}
+
+// SaveFile writes the table to path.
+func (t *Table) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := t.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile merges the table stored at path into t.
+func (t *Table) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.Load(f)
+}
+
+var (
+	defaultTable     *Table
+	defaultTableOnce sync.Once
+)
+
+// DefaultEagerDegree is the largest degree the shared default table
+// generates eagerly on first use. Generation up to this degree takes well
+// under ten seconds on one core; higher degrees can be merged from files
+// produced by cmd/lutgen.
+const DefaultEagerDegree = 5
+
+// Default returns the shared process-wide table, generating degrees
+// 2..DefaultEagerDegree on first use.
+func Default() *Table {
+	defaultTableOnce.Do(func() {
+		defaultTable = New()
+		for d := 2; d <= DefaultEagerDegree; d++ {
+			if err := defaultTable.Generate(d, 0); err != nil {
+				// Generation of tiny degrees cannot fail other than by
+				// programming error; surface it loudly.
+				panic(fmt.Sprintf("lut: generating default table degree %d: %v", d, err))
+			}
+		}
+	})
+	return defaultTable
+}

@@ -1,0 +1,13 @@
+package param
+
+import (
+	"patlabor/internal/dw"
+	"patlabor/internal/pareto"
+	"patlabor/internal/tree"
+)
+
+// dwSols exposes the concrete Pareto-DW frontier as the reference result
+// for validating symbolic enumeration.
+func dwSols(net tree.Net) ([]pareto.Sol, error) {
+	return dw.FrontierSols(net, dw.DefaultOptions())
+}

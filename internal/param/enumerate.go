@@ -1,0 +1,586 @@
+package param
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"patlabor/internal/hanan"
+)
+
+// EnumeratePattern runs the symbolic Pareto-DW dynamic program of §V-A on
+// a degree-n pattern and returns every potentially Pareto-optimal tree
+// topology: any topology that is on the exact Pareto frontier for at least
+// one concrete assignment of the gap lengths survives. The result is what
+// a lookup table stores for the pattern.
+//
+// All three pruning lemmas are applied (they are safe, see internal/dw),
+// plus the Lemma-1 parameterised dominance check via Solution.Prunes.
+func EnumeratePattern(p hanan.Pattern) ([]Topology, error) {
+	if !p.Valid() {
+		return nil, fmt.Errorf("param: invalid pattern %v", p)
+	}
+	n := p.N
+	if n < 2 {
+		return nil, fmt.Errorf("param: degree %d too small", n)
+	}
+	if n > 12 {
+		return nil, fmt.Errorf("param: degree %d too large for symbolic enumeration", n)
+	}
+	e := newEnum(p)
+	final := e.run()
+	seen := map[string]bool{}
+	var out []Topology
+	for _, idx := range final {
+		topo := e.reconstruct(idx)
+		topo.spliceMonotone(n)
+		k := topo.Canon()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, topo)
+		}
+	}
+	return out, nil
+}
+
+type sentKind uint8
+
+const (
+	sBase sentKind = iota
+	sExt
+	sMerge
+)
+
+type sent struct {
+	sol  Solution
+	fp   [nFP]int64 // fingerprint: (w,d) at fixed probe gap assignments
+	a, b int32
+	sink int16
+	kind sentKind
+}
+
+// nFP probe assignments for cheap pruning pre-checks.
+const nFP = 2
+
+type enum struct {
+	p      hanan.Pattern
+	n      int
+	arena  []sent
+	keep   []bool
+	nodes  []int
+	m      int
+	sinkNd []int // rank node of sink slot s
+	rootNd int
+	bpos   []int        // boundary walk position per sink, -1 interior
+	probes [nFP][]int64 // probe gap vectors (dim 2n-2)
+	distV  map[[2]int]Vec
+	S      [][][]int32
+}
+
+func newEnum(p hanan.Pattern) *enum {
+	n := p.N
+	e := &enum{p: p, n: n, distV: map[[2]int]Vec{}}
+	// Sinks in x-rank order, skipping the source.
+	for i := 0; i < n; i++ {
+		if uint8(i) == p.Src {
+			e.rootNd = e.node(i, int(p.Perm[i]))
+			continue
+		}
+		e.sinkNd = append(e.sinkNd, e.node(i, int(p.Perm[i])))
+	}
+	e.m = len(e.sinkNd)
+	e.computeKeep()
+	e.computeBoundary()
+	e.buildProbes()
+	return e
+}
+
+func (e *enum) node(i, j int) int        { return j*e.n + i }
+func (e *enum) coords(nd int) (int, int) { return nd % e.n, nd / e.n }
+
+func (e *enum) computeKeep() {
+	n := e.n
+	e.keep = make([]bool, n*n)
+	type rp struct{ i, j int }
+	pins := make([]rp, n)
+	for i := 0; i < n; i++ {
+		pins[i] = rp{i, int(e.p.Perm[i])}
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			var ll, lr, ul, ur bool
+			for _, q := range pins {
+				if q.i <= i && q.j <= j {
+					ll = true
+				}
+				if q.i >= i && q.j <= j {
+					lr = true
+				}
+				if q.i <= i && q.j >= j {
+					ul = true
+				}
+				if q.i >= i && q.j >= j {
+					ur = true
+				}
+			}
+			nd := e.node(i, j)
+			e.keep[nd] = ll && lr && ul && ur
+			if e.keep[nd] {
+				e.nodes = append(e.nodes, nd)
+			}
+		}
+	}
+}
+
+func (e *enum) computeBoundary() {
+	n := e.n
+	pos := map[int]int{}
+	step := 0
+	add := func(i, j int) {
+		nd := e.node(i, j)
+		if _, ok := pos[nd]; !ok {
+			pos[nd] = step
+			step++
+		}
+	}
+	for j := 0; j < n; j++ {
+		add(0, j)
+	}
+	for i := 1; i < n; i++ {
+		add(i, n-1)
+	}
+	for j := n - 2; j >= 0; j-- {
+		add(n-1, j)
+	}
+	for i := n - 2; i >= 1; i-- {
+		add(i, 0)
+	}
+	e.bpos = make([]int, e.m)
+	for s, nd := range e.sinkNd {
+		if p, ok := pos[nd]; ok {
+			e.bpos[s] = p
+		} else {
+			e.bpos[s] = -1
+		}
+	}
+}
+
+// buildProbes fixes deterministic positive gap assignments used as cheap
+// necessary conditions for Prunes.
+func (e *enum) buildProbes() {
+	dim := 2 * (e.n - 1)
+	for f := 0; f < nFP; f++ {
+		v := make([]int64, dim)
+		for k := range v {
+			switch f {
+			case 0:
+				v[k] = 1
+			default:
+				// Distinct pseudo-random-ish positive weights.
+				v[k] = int64(3 + (7*k+11*f)%13)
+			}
+		}
+		e.probes[f] = v
+	}
+}
+
+func (e *enum) fingerprint(s Solution) [nFP]int64 {
+	var fp [nFP]int64
+	for f := 0; f < nFP; f++ {
+		h := e.probes[f][:e.n-1]
+		v := e.probes[f][e.n-1:]
+		sol := s.Eval(h, v)
+		// Pack (w,d) into a single comparable pair per probe: keep w in
+		// the fingerprint and d in the second slot via separate probes.
+		fp[f] = sol.W<<20 | sol.D // both small for probe weights
+	}
+	return fp
+}
+
+// fpMayPrune is a necessary condition for a.Prunes(b): on every probe,
+// a's w and d must not exceed b's.
+func fpMayPrune(a, b [nFP]int64) bool {
+	for f := 0; f < nFP; f++ {
+		aw, ad := a[f]>>20, a[f]&((1<<20)-1)
+		bw, bd := b[f]>>20, b[f]&((1<<20)-1)
+		if aw > bw || ad > bd {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *enum) dist(a, b int) Vec {
+	key := [2]int{a, b}
+	if a > b {
+		key = [2]int{b, a}
+	}
+	if v, ok := e.distV[key]; ok {
+		return v
+	}
+	ai, aj := e.coords(a)
+	bi, bj := e.coords(b)
+	v := gapVec(e.n, RankNode{I: int8(ai), J: int8(aj)}, RankNode{I: int8(bi), J: int8(bj)})
+	e.distV[key] = v
+	return v
+}
+
+func (e *enum) run() []int32 {
+	if e.m == 0 {
+		return nil
+	}
+	full := (1 << e.m) - 1
+	e.S = make([][][]int32, full+1)
+	nn := e.n * e.n
+
+	order := make([]int, 0, full)
+	for q := 1; q <= full; q++ {
+		order = append(order, q)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		bi, bj := bits.OnesCount(uint(order[i])), bits.OnesCount(uint(order[j]))
+		if bi != bj {
+			return bi < bj
+		}
+		return order[i] < order[j]
+	})
+
+	dim := 2 * (e.n - 1)
+	zero := make(Vec, dim)
+	for _, q := range order {
+		Sq := make([][]int32, nn)
+		M := make([][]int32, nn)
+		if bits.OnesCount(uint(q)) == 1 {
+			s := bits.TrailingZeros(uint(q))
+			sol := Solution{W: zero, D: []Vec{zero}}
+			en := sent{sol: sol, kind: sBase, sink: int16(s)}
+			en.fp = e.fingerprint(sol)
+			e.arena = append(e.arena, en)
+			M[e.sinkNd[s]] = []int32{int32(len(e.arena) - 1)}
+		} else {
+			e.mergeCandidates(q, M)
+		}
+		e.extend(q, M, Sq)
+		e.S[q] = Sq
+	}
+	return e.S[full][e.rootNd]
+}
+
+func (e *enum) bbox(q int) (ilo, jlo, ihi, jhi int) {
+	first := true
+	for s := 0; s < e.m; s++ {
+		if q&(1<<s) == 0 {
+			continue
+		}
+		i, j := e.coords(e.sinkNd[s])
+		if first {
+			ilo, jlo, ihi, jhi = i, j, i, j
+			first = false
+			continue
+		}
+		if i < ilo {
+			ilo = i
+		}
+		if i > ihi {
+			ihi = i
+		}
+		if j < jlo {
+			jlo = j
+		}
+		if j > jhi {
+			jhi = j
+		}
+	}
+	return
+}
+
+func (e *enum) insideNodes(q int) []int {
+	ilo, jlo, ihi, jhi := e.bbox(q)
+	var out []int
+	for j := jlo; j <= jhi; j++ {
+		for i := ilo; i <= ihi; i++ {
+			nd := e.node(i, j)
+			if e.keep[nd] {
+				out = append(out, nd)
+			}
+		}
+	}
+	return out
+}
+
+func (e *enum) mergeCandidates(q int, M [][]int32) {
+	splits := e.splits(q)
+	inside := e.insideNodes(q)
+	var cand []sent
+	for _, v := range inside {
+		cand = cand[:0]
+		for _, q1 := range splits {
+			q2 := q &^ q1
+			for _, i1 := range e.S[q1][v] {
+				for _, i2 := range e.S[q2][v] {
+					s1, s2 := &e.arena[i1], &e.arena[i2]
+					sol := Solution{
+						W: s1.sol.W.Add(s2.sol.W),
+						D: append(append([]Vec(nil), s1.sol.D...), s2.sol.D...),
+					}
+					cand = append(cand, sent{sol: sol, kind: sMerge, a: i1, b: i2})
+				}
+			}
+		}
+		M[v] = e.filterPush(cand)
+	}
+}
+
+func (e *enum) splits(q int) []int {
+	low := q & -q
+	if e.allOnBoundary(q) {
+		return e.boundarySplits(q, low)
+	}
+	var out []int
+	for q1 := (q - 1) & q; q1 > 0; q1 = (q1 - 1) & q {
+		if q1&low != 0 {
+			out = append(out, q1)
+		}
+	}
+	return out
+}
+
+func (e *enum) allOnBoundary(q int) bool {
+	for s := 0; s < e.m; s++ {
+		if q&(1<<s) != 0 && e.bpos[s] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *enum) boundarySplits(q, low int) []int {
+	type member struct{ s, pos int }
+	var ms []member
+	for s := 0; s < e.m; s++ {
+		if q&(1<<s) != 0 {
+			ms = append(ms, member{s, e.bpos[s]})
+		}
+	}
+	sort.Slice(ms, func(i, j int) bool { return ms[i].pos < ms[j].pos })
+	k := len(ms)
+	seen := map[int]bool{}
+	var out []int
+	for start := 0; start < k; start++ {
+		mask := 0
+		for l := 1; l < k; l++ {
+			mask |= 1 << ms[(start+l-1)%k].s
+			q1 := mask
+			if q1&low == 0 {
+				q1 = q &^ q1
+			}
+			if !seen[q1] {
+				seen[q1] = true
+				out = append(out, q1)
+			}
+		}
+	}
+	return out
+}
+
+func (e *enum) extend(q int, M, Sq [][]int32) {
+	inside := e.insideNodes(q)
+	var srcs []int
+	for _, u := range inside {
+		if len(M[u]) > 0 {
+			srcs = append(srcs, u)
+		}
+	}
+	var cand []sent
+	for _, v := range inside {
+		cand = cand[:0]
+		for _, u := range srcs {
+			g := e.dist(u, v)
+			for _, idx := range M[u] {
+				en := &e.arena[idx]
+				if u == v {
+					cand = append(cand, sent{sol: en.sol, kind: sExt, a: idx, b: int32(u)})
+					continue
+				}
+				sol := Solution{W: en.sol.W.Add(g), D: make([]Vec, len(en.sol.D))}
+				for r := range en.sol.D {
+					sol.D[r] = en.sol.D[r].Add(g)
+				}
+				cand = append(cand, sent{sol: sol, kind: sExt, a: idx, b: int32(u)})
+			}
+		}
+		Sq[v] = e.filterPush(cand)
+	}
+	// Lemma 3: outside nodes by projection.
+	ilo, jlo, ihi, jhi := e.bbox(q)
+	for _, v := range e.nodes {
+		i, j := e.coords(v)
+		if i >= ilo && i <= ihi && j >= jlo && j <= jhi {
+			continue
+		}
+		ci, cj := clampInt(i, ilo, ihi), clampInt(j, jlo, jhi)
+		u := e.node(ci, cj)
+		g := e.dist(u, v)
+		src := Sq[u]
+		der := make([]int32, 0, len(src))
+		for _, idx := range src {
+			en := &e.arena[idx]
+			sol := Solution{W: en.sol.W.Add(g), D: make([]Vec, len(en.sol.D))}
+			for r := range en.sol.D {
+				sol.D[r] = en.sol.D[r].Add(g)
+			}
+			ns := sent{sol: sol, kind: sExt, a: idx, b: int32(u)}
+			ns.fp = e.fingerprint(sol)
+			e.arena = append(e.arena, ns)
+			der = append(der, int32(len(e.arena)-1))
+		}
+		Sq[v] = der
+	}
+}
+
+func clampInt(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// filterPush removes candidates pruned by another candidate (Lemma-1
+// check with fingerprint pre-screen), pushes survivors into the arena and
+// returns their indices.
+func (e *enum) filterPush(cand []sent) []int32 {
+	if len(cand) == 0 {
+		return nil
+	}
+	for i := range cand {
+		cand[i].fp = e.fingerprint(cand[i].sol)
+	}
+	// Sort by probe-0 wirelength then delay: cheap dominance order.
+	sort.SliceStable(cand, func(a, b int) bool { return cand[a].fp[0] < cand[b].fp[0] })
+	kept := make([]int, 0, 16)
+	for i := range cand {
+		pruned := false
+		for _, k := range kept {
+			if fpMayPrune(cand[k].fp, cand[i].fp) && cand[k].sol.Prunes(cand[i].sol) {
+				pruned = true
+				break
+			}
+		}
+		if pruned {
+			continue
+		}
+		// The newcomer may prune earlier kept entries.
+		dst := kept[:0]
+		for _, k := range kept {
+			if fpMayPrune(cand[i].fp, cand[k].fp) && cand[i].sol.Prunes(cand[k].sol) {
+				continue
+			}
+			dst = append(dst, k)
+		}
+		kept = append(dst, i)
+	}
+	out := make([]int32, 0, len(kept))
+	for _, k := range kept {
+		e.arena = append(e.arena, cand[k])
+		out = append(out, int32(len(e.arena)-1))
+	}
+	return out
+}
+
+// reconstruct rebuilds the topology of final entry idx, rooted at the
+// source rank node.
+func (e *enum) reconstruct(idx int32) Topology {
+	ri, rj := e.coords(e.rootNd)
+	t := Topology{
+		Nodes:  []RankNode{{I: int8(ri), J: int8(rj), Sink: -1}},
+		Parent: []int16{-1},
+	}
+	e.emit(idx, e.rootNd, 0, &t)
+	return t
+}
+
+func (e *enum) emit(idx int32, v int, atNode int16, t *Topology) {
+	en := e.arena[idx]
+	switch en.kind {
+	case sBase:
+		nd := e.sinkNd[en.sink]
+		i, j := e.coords(nd)
+		if t.Nodes[atNode].I == int8(i) && t.Nodes[atNode].J == int8(j) && t.Nodes[atNode].Sink < 0 && atNode != 0 {
+			t.Nodes[atNode].Sink = int8(en.sink)
+			return
+		}
+		t.Nodes = append(t.Nodes, RankNode{I: int8(i), J: int8(j), Sink: int8(en.sink)})
+		t.Parent = append(t.Parent, atNode)
+	case sExt:
+		u := int(en.b)
+		if u == v {
+			e.emit(en.a, u, atNode, t)
+			return
+		}
+		i, j := e.coords(u)
+		t.Nodes = append(t.Nodes, RankNode{I: int8(i), J: int8(j), Sink: -1})
+		t.Parent = append(t.Parent, atNode)
+		e.emit(en.a, u, int16(len(t.Nodes)-1), t)
+	case sMerge:
+		e.emit(en.a, v, atNode, t)
+		e.emit(en.b, v, atNode, t)
+	}
+}
+
+// spliceMonotone removes Steiner nodes with exactly one child whose
+// removal does not change any gap coefficient (the two edges are monotone
+// end to end), compacting the topology.
+func (t *Topology) spliceMonotone(n int) {
+	for {
+		ch := make([][]int, len(t.Nodes))
+		for i, p := range t.Parent {
+			if p >= 0 {
+				ch[p] = append(ch[p], i)
+			}
+		}
+		victim := -1
+		for i := 1; i < len(t.Nodes); i++ {
+			if t.Nodes[i].Sink >= 0 {
+				continue
+			}
+			if len(ch[i]) > 1 {
+				continue
+			}
+			if len(ch[i]) == 0 {
+				victim = i
+				break
+			}
+			c := ch[i][0]
+			p := int(t.Parent[i])
+			g1 := gapVec(n, t.Nodes[p], t.Nodes[i])
+			g2 := gapVec(n, t.Nodes[i], t.Nodes[c])
+			gd := gapVec(n, t.Nodes[p], t.Nodes[c])
+			if g1.Add(g2).Eq(gd) {
+				victim = i
+				break
+			}
+		}
+		if victim < 0 {
+			return
+		}
+		ch2 := ch[victim]
+		for _, c := range ch2 {
+			t.Parent[c] = t.Parent[victim]
+		}
+		last := len(t.Nodes) - 1
+		if victim != last {
+			t.Nodes[victim] = t.Nodes[last]
+			t.Parent[victim] = t.Parent[last]
+			for i := range t.Parent {
+				if int(t.Parent[i]) == last {
+					t.Parent[i] = int16(victim)
+				}
+			}
+		}
+		t.Nodes = t.Nodes[:last]
+		t.Parent = t.Parent[:last]
+	}
+}

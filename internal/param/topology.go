@@ -1,0 +1,191 @@
+package param
+
+import (
+	"fmt"
+	"sort"
+
+	"patlabor/internal/geom"
+	"patlabor/internal/hanan"
+	"patlabor/internal/tree"
+)
+
+// Topology is a routing tree in rank space: node positions are Hanan-grid
+// rank pairs (I, J) of a degree-n pattern. Node 0 is the root (the source
+// pin). Sink identifies which sink slot a node realises (slot s is the
+// s-th non-source pin in x-rank order), or -1 for Steiner nodes.
+type Topology struct {
+	Nodes  []RankNode
+	Parent []int16
+}
+
+// RankNode is one topology vertex in rank coordinates.
+type RankNode struct {
+	I, J int8
+	Sink int8
+}
+
+// Canon returns a canonical string encoding of the topology, used to
+// deduplicate topologies produced by different DP derivations. Trees that
+// differ only in node ordering share the same encoding.
+func (t Topology) Canon() string {
+	type edge struct{ a, b [3]int8 }
+	key := func(i int) [3]int8 {
+		n := t.Nodes[i]
+		return [3]int8{n.I, n.J, n.Sink}
+	}
+	var edges []edge
+	for i, p := range t.Parent {
+		if p < 0 {
+			continue
+		}
+		a, b := key(i), key(int(p))
+		if less(b, a) {
+			a, b = b, a
+		}
+		edges = append(edges, edge{a, b})
+	}
+	sort.Slice(edges, func(x, y int) bool {
+		if edges[x].a != edges[y].a {
+			return less(edges[x].a, edges[y].a)
+		}
+		return less(edges[x].b, edges[y].b)
+	})
+	buf := make([]byte, 0, 6*len(edges)+3)
+	r := key(0)
+	buf = append(buf, byte(r[0]), byte(r[1]), byte(r[2]))
+	for _, e := range edges {
+		buf = append(buf, byte(e.a[0]), byte(e.a[1]), byte(e.a[2]),
+			byte(e.b[0]), byte(e.b[1]), byte(e.b[2]))
+	}
+	return string(buf)
+}
+
+func less(a, b [3]int8) bool {
+	for k := 0; k < 3; k++ {
+		if a[k] != b[k] {
+			return a[k] < b[k]
+		}
+	}
+	return false
+}
+
+// Solution computes the parameterised (W, D) form of the topology for a
+// degree-n pattern: wirelength coefficients from every edge, one delay row
+// per sink from its root path.
+func (t Topology) Solution(n int) Solution {
+	dim := 2 * (n - 1)
+	w := make(Vec, dim)
+	// Node depth vectors accumulated root-first.
+	rows := make([]Vec, len(t.Nodes))
+	rows[0] = make(Vec, dim)
+	order := t.topoOrder()
+	var sol Solution
+	for _, i := range order {
+		p := t.Parent[i]
+		if p < 0 {
+			continue
+		}
+		g := gapVec(n, t.Nodes[i], t.Nodes[int(p)])
+		for k := range w {
+			w[k] += g[k]
+		}
+		rows[i] = rows[int(p)].Add(g)
+	}
+	sol.W = w
+	for i, nd := range t.Nodes {
+		if nd.Sink >= 0 {
+			sol.D = append(sol.D, rows[i])
+		}
+	}
+	return sol
+}
+
+func (t Topology) topoOrder() []int {
+	ch := make([][]int, len(t.Nodes))
+	for i, p := range t.Parent {
+		if p >= 0 {
+			ch[p] = append(ch[p], i)
+		}
+	}
+	order := make([]int, 0, len(t.Nodes))
+	queue := []int{0}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		queue = append(queue, ch[v]...)
+	}
+	return order
+}
+
+// gapVec returns the coefficient vector of the L1 rank distance between
+// two rank nodes: the horizontal gaps spanned plus the vertical gaps.
+func gapVec(n int, a, b RankNode) Vec {
+	g := make(Vec, 2*(n-1))
+	i0, i1 := int(a.I), int(b.I)
+	if i0 > i1 {
+		i0, i1 = i1, i0
+	}
+	for k := i0; k < i1; k++ {
+		g[k]++
+	}
+	j0, j1 := int(a.J), int(b.J)
+	if j0 > j1 {
+		j0, j1 = j1, j0
+	}
+	for k := j0; k < j1; k++ {
+		g[n-1+k]++
+	}
+	return g
+}
+
+// Instantiate builds a concrete routing tree for the net whose rank view
+// is r, by mapping the topology's rank coordinates through the inverse of
+// tf (the transform that took the net's pattern to the canonical pattern
+// this topology was stored under). Sink slots are mapped back to pin
+// indices via the pattern's x-rank order.
+func (t Topology) Instantiate(r hanan.Ranks, tf hanan.Transform) (*tree.Tree, error) {
+	n := r.Pattern.N
+	inv := tf.Invert()
+	// slotPin[s] = pin index of the s-th non-source pin in x-rank order of
+	// the ORIGINAL (net) pattern. The topology's sink slots are in the
+	// canonical pattern's x-rank order; map through inv first.
+	pinAtXRank := make([]int, n)
+	for pin := 0; pin < n; pin++ {
+		pinAtXRank[r.XRank[pin]] = pin
+	}
+	toPoint := func(nd RankNode) (geom.Point, int, error) {
+		ci, cj := inv.Apply(n, int(nd.I), int(nd.J))
+		if ci < 0 || ci >= n || cj < 0 || cj >= n {
+			return geom.Point{}, 0, fmt.Errorf("param: rank (%d,%d) out of range", nd.I, nd.J)
+		}
+		pt := geom.Point{X: r.Xs[ci], Y: r.Ys[cj]}
+		pin := -1
+		if nd.Sink >= 0 {
+			pin = pinAtXRank[ci]
+		}
+		return pt, pin, nil
+	}
+	rootPt, _, err := toPoint(t.Nodes[0])
+	if err != nil {
+		return nil, err
+	}
+	out := tree.New(rootPt, 0)
+	idx := make([]int, len(t.Nodes))
+	idx[0] = out.Root
+	for _, i := range t.topoOrder() {
+		if i == 0 {
+			continue
+		}
+		nd := t.Nodes[i]
+		pt, pin, err := toPoint(nd)
+		if err != nil {
+			return nil, err
+		}
+		if pin == 0 {
+			return nil, fmt.Errorf("param: sink node maps to the source pin")
+		}
+		idx[i] = out.Add(pt, pin, idx[int(t.Parent[i])])
+	}
+	return out, nil
+}

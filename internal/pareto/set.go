@@ -1,0 +1,101 @@
+package pareto
+
+import "sort"
+
+// Item attaches an arbitrary payload (typically a routing tree) to a
+// solution vector, so algorithms can maintain Pareto sets of concrete
+// trees rather than bare objective pairs.
+type Item[T any] struct {
+	Sol Sol
+	Val T
+}
+
+// FilterItems returns the Pareto-optimal items in canonical order. When
+// several items share an identical objective vector, the first in the
+// (stable) sorted order is kept.
+func FilterItems[T any](items []Item[T]) []Item[T] {
+	if len(items) == 0 {
+		return nil
+	}
+	cp := append([]Item[T](nil), items...)
+	sort.SliceStable(cp, func(i, j int) bool { return cp[i].Sol.Less(cp[j].Sol) })
+	out := cp[:0]
+	bestD := int64(1<<63 - 1)
+	for _, it := range cp {
+		if it.Sol.D < bestD {
+			out = append(out, it)
+			bestD = it.Sol.D
+		}
+	}
+	return append([]Item[T](nil), out...)
+}
+
+// Set maintains a Pareto frontier of payload-carrying solutions
+// incrementally. The zero value is an empty set ready for use.
+type Set[T any] struct {
+	items []Item[T] // invariant: canonical frontier order
+}
+
+// NewSet returns a Set seeded with the given items.
+func NewSet[T any](items ...Item[T]) *Set[T] {
+	s := &Set[T]{}
+	for _, it := range items {
+		s.Add(it.Sol, it.Val)
+	}
+	return s
+}
+
+// Len returns the number of Pareto-optimal items currently held.
+func (s *Set[T]) Len() int { return len(s.items) }
+
+// Items returns the frontier in canonical order. The returned slice must
+// not be modified.
+func (s *Set[T]) Items() []Item[T] { return s.items }
+
+// Sols returns the objective vectors of the frontier in canonical order.
+func (s *Set[T]) Sols() []Sol {
+	out := make([]Sol, len(s.items))
+	for i, it := range s.items {
+		out[i] = it.Sol
+	}
+	return out
+}
+
+// Add inserts (sol, val) unless it is dominated by a held item; items that
+// the newcomer strictly dominates (or duplicates) are evicted. It reports
+// whether the item was inserted. Runs in O(log k + m) where m is the
+// number of evictions.
+func (s *Set[T]) Add(sol Sol, val T) bool {
+	// Find first index with W >= sol.W.
+	i := sort.Search(len(s.items), func(i int) bool { return s.items[i].Sol.W >= sol.W })
+	// Dominance by a cheaper-or-equal-W predecessor: the frontier's D is
+	// decreasing in W, so only the predecessor needs checking; equal-W
+	// entries at i also dominate when their D <= sol.D.
+	if i > 0 && s.items[i-1].Sol.D <= sol.D {
+		return false
+	}
+	if i < len(s.items) && s.items[i].Sol.W == sol.W && s.items[i].Sol.D <= sol.D {
+		return false
+	}
+	// Evict items at >= W with D >= sol.D (all contiguous from i).
+	j := i
+	for j < len(s.items) && s.items[j].Sol.D >= sol.D {
+		j++
+	}
+	if j > i {
+		s.items = append(s.items[:i], s.items[j:]...)
+	}
+	s.items = append(s.items, Item[T]{})
+	copy(s.items[i+1:], s.items[i:])
+	s.items[i] = Item[T]{Sol: sol, Val: val}
+	return true
+}
+
+// MaxDelayItem returns the held item with the largest delay (the leftmost
+// frontier point) and true, or a zero item and false when the set is empty.
+func (s *Set[T]) MaxDelayItem() (Item[T], bool) {
+	if len(s.items) == 0 {
+		return Item[T]{}, false
+	}
+	return s.items[0], true
+}

@@ -1,0 +1,144 @@
+// Package pd implements the Prim–Dijkstra baseline [2] (Alpert et al.):
+// a spanning-tree construction whose attachment cost blends Prim's
+// wirelength greed with Dijkstra's path-length greed,
+//
+//	key(v) = α·pathlen(u) + ‖u−v‖₁ ,
+//
+// attaching v under the in-tree node u minimising the key. α = 0 is pure
+// Prim (an MST); α = 1 is pure Dijkstra (a shortest-path tree). BuildII
+// adds PD-II-style post-processing: a delay-safe reparenting pass followed
+// by delay-preserving Steinerisation.
+package pd
+
+import (
+	"patlabor/internal/geom"
+	"patlabor/internal/pareto"
+	"patlabor/internal/tree"
+)
+
+// Build constructs the Prim–Dijkstra spanning tree for the blend α ∈ [0,1].
+func Build(net tree.Net, alpha float64) *tree.Tree {
+	n := net.Degree()
+	t := tree.New(net.Source(), 0)
+	if n <= 1 {
+		return t
+	}
+	const inf = 1e30
+	key := make([]float64, n)
+	from := make([]int, n)     // tree node to attach under
+	fromPL := make([]int64, n) // path length of that node
+	inT := make([]bool, n)
+	for i := 1; i < n; i++ {
+		key[i] = float64(geom.Dist(net.Pins[i], net.Source()))
+		from[i] = t.Root
+	}
+	inT[0] = true
+	for added := 1; added < n; added++ {
+		best := -1
+		bestK := inf
+		for i := 1; i < n; i++ {
+			if !inT[i] && key[i] < bestK {
+				best, bestK = i, key[i]
+			}
+		}
+		node := t.Add(net.Pins[best], best, from[best])
+		inT[best] = true
+		plBest := fromPL[best] + geom.Dist(net.Pins[best], t.Nodes[from[best]].P)
+		for i := 1; i < n; i++ {
+			if inT[i] {
+				continue
+			}
+			k := alpha*float64(plBest) + float64(geom.Dist(net.Pins[i], net.Pins[best]))
+			if k < key[i] {
+				key[i] = k
+				from[i] = node
+				fromPL[i] = plBest
+			}
+		}
+	}
+	return t
+}
+
+// BuildII runs Build and then the PD-II-style improvement passes:
+// reparenting that reduces wirelength without increasing the tree delay,
+// and delay-preserving Steinerisation.
+func BuildII(net tree.Net, alpha float64) *tree.Tree {
+	t := Build(net, alpha)
+	improveReparent(t)
+	t.Steinerize()
+	return t
+}
+
+// improveReparent repeatedly moves a node under a closer parent when that
+// strictly reduces wirelength and does not increase the maximum delay.
+func improveReparent(t *tree.Tree) {
+	for pass := 0; pass < 6; pass++ {
+		base := t.MaxDelay()
+		changed := false
+		for v := range t.Nodes {
+			p := t.Parent[v]
+			if p < 0 {
+				continue
+			}
+			cur := geom.Dist(t.Nodes[v].P, t.Nodes[p].P)
+			bestU, bestD := -1, cur
+			for u := range t.Nodes {
+				if u == v || u == p {
+					continue
+				}
+				d := geom.Dist(t.Nodes[v].P, t.Nodes[u].P)
+				if d >= bestD {
+					continue
+				}
+				if inSubtree(t, u, v) {
+					continue
+				}
+				// Trial reparent; keep only if the delay did not grow.
+				old := t.Parent[v]
+				t.Parent[v] = u
+				if t.MaxDelay() <= base {
+					bestU, bestD = u, d
+				}
+				t.Parent[v] = old
+			}
+			if bestU >= 0 {
+				t.Parent[v] = bestU
+				changed = true
+				base = t.MaxDelay()
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// inSubtree reports whether u lies in the subtree rooted at v.
+func inSubtree(t *tree.Tree, u, v int) bool {
+	for u >= 0 {
+		if u == v {
+			return true
+		}
+		u = t.Parent[u]
+	}
+	return false
+}
+
+// DefaultAlphas is the blend grid used for sweeping.
+func DefaultAlphas() []float64 {
+	return []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1}
+}
+
+// Sweep runs PD-II across the blend grid and returns the Pareto set of the
+// produced trees.
+func Sweep(net tree.Net, alphas []float64) []pareto.Item[*tree.Tree] {
+	if len(alphas) == 0 {
+		alphas = DefaultAlphas()
+	}
+	set := &pareto.Set[*tree.Tree]{}
+	for _, a := range alphas {
+		t := BuildII(net, a)
+		set.Add(t.Sol(), t)
+	}
+	return set.Items()
+}

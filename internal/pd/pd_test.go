@@ -1,0 +1,132 @@
+package pd
+
+import (
+	"math/rand"
+	"testing"
+
+	"patlabor/internal/geom"
+	"patlabor/internal/pareto"
+	"patlabor/internal/rsma"
+	"patlabor/internal/tree"
+)
+
+func randNet(rng *rand.Rand, n int, span int64) tree.Net {
+	pins := make([]geom.Point, n)
+	for i := range pins {
+		pins[i] = geom.Pt(rng.Int63n(span), rng.Int63n(span))
+	}
+	return tree.Net{Pins: pins}
+}
+
+func TestBuildAlphaOneIsShortestPathTree(t *testing.T) {
+	// α = 1 is Dijkstra on the complete rectilinear graph: in L1 every
+	// direct edge is a shortest path, so all sink delays are minimal.
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 30; trial++ {
+		net := randNet(rng, 3+rng.Intn(15), 150)
+		tr := Build(net, 1)
+		if err := tr.Validate(net); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if tr.MaxDelay() != rsma.MinDelay(net) {
+			t.Fatalf("trial %d: delay %d, want %d", trial, tr.MaxDelay(), rsma.MinDelay(net))
+		}
+	}
+}
+
+func TestBuildAlphaZeroIsMST(t *testing.T) {
+	// α = 0 is Prim: wirelength equals the rectilinear MST's.
+	rng := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 30; trial++ {
+		net := randNet(rng, 3+rng.Intn(15), 150)
+		tr := Build(net, 0)
+		if err := tr.Validate(net); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// An independent Prim over pins only.
+		want := mstLen(net)
+		if tr.Wirelength() != want {
+			t.Fatalf("trial %d: wirelength %d, want MST %d", trial, tr.Wirelength(), want)
+		}
+	}
+}
+
+func mstLen(net tree.Net) int64 {
+	n := net.Degree()
+	const inf = int64(1) << 62
+	dist := make([]int64, n)
+	inT := make([]bool, n)
+	for i := 1; i < n; i++ {
+		dist[i] = geom.Dist(net.Pins[i], net.Source())
+	}
+	inT[0] = true
+	var total int64
+	for k := 1; k < n; k++ {
+		best, bd := -1, inf
+		for i := 1; i < n; i++ {
+			if !inT[i] && dist[i] < bd {
+				best, bd = i, dist[i]
+			}
+		}
+		total += bd
+		inT[best] = true
+		for i := 1; i < n; i++ {
+			if !inT[i] {
+				if d := geom.Dist(net.Pins[i], net.Pins[best]); d < dist[i] {
+					dist[i] = d
+				}
+			}
+		}
+	}
+	return total
+}
+
+func TestBuildIIImproves(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 20; trial++ {
+		net := randNet(rng, 6+rng.Intn(12), 200)
+		for _, a := range []float64{0.3, 0.6} {
+			plain := Build(net, a)
+			better := BuildII(net, a)
+			if err := better.Validate(net); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if better.Wirelength() > plain.Wirelength() {
+				t.Fatalf("trial %d α=%v: PD-II wirelength %d worse than PD %d",
+					trial, a, better.Wirelength(), plain.Wirelength())
+			}
+			if better.MaxDelay() > plain.MaxDelay() {
+				t.Fatalf("trial %d α=%v: PD-II delay %d worse than PD %d",
+					trial, a, better.MaxDelay(), plain.MaxDelay())
+			}
+		}
+	}
+}
+
+func TestSweepIsFrontier(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	for trial := 0; trial < 10; trial++ {
+		net := randNet(rng, 5+rng.Intn(15), 200)
+		items := Sweep(net, nil)
+		if len(items) == 0 {
+			t.Fatal("empty sweep")
+		}
+		var sols []pareto.Sol
+		for _, it := range items {
+			sols = append(sols, it.Sol)
+			if err := it.Val.Validate(net); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !pareto.IsFrontier(sols) {
+			t.Fatalf("sweep not canonical: %v", sols)
+		}
+	}
+}
+
+func TestBuildTrivial(t *testing.T) {
+	single := tree.Net{Pins: []geom.Point{geom.Pt(0, 0)}}
+	if tr := Build(single, 0.5); tr.Len() != 1 {
+		t.Fatal("degree-1 PD wrong")
+	}
+}

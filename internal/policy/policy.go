@@ -1,0 +1,143 @@
+// Package policy implements the pin-selection policy π of PatLabor's local
+// search (§V-B) and its training apparatus. The policy scores each
+// unselected pin p given the already selected pins p_1..p_λ' as
+//
+//	score(p) = α1·‖r−p‖₁ + α2·dist_T(r,p)
+//	         − α3·min_i ‖p−p_i‖₁ − α4·HPWL(p, p_1..p_λ')
+//
+// and greedily selects the λ−1 highest-scoring pins: far-from-source,
+// high-delay pins that cluster together, so one lookup-table call can
+// rebuild their whole neighbourhood.
+//
+// Parameters are trained by the policy-iteration scheme of the paper:
+// sample candidate selections on random instances, keep the selections
+// whose local-search step improved the Pareto set the most, and fit the
+// four weights by least squares, warm-starting each degree from the
+// previous one (curriculum). Trained weights for the shipped defaults were
+// produced by examples/training.
+package policy
+
+import (
+	"patlabor/internal/geom"
+	"patlabor/internal/tree"
+)
+
+// Params are the four nonnegative score weights.
+type Params struct {
+	A1, A2, A3, A4 float64
+}
+
+// DefaultParams returns the shipped trained parameters for a net of
+// degree n: smoothed checkpoints of an examples/training run (curriculum
+// degrees 10..100 on driver-displaced clustered instances). The tree-path
+// term dominates at moderate degrees — regenerate the pins the current
+// tree reaches slowly — while the clustering terms gain weight as nets
+// grow and one λ-pin window covers a smaller fraction of the net.
+func DefaultParams(n int) Params {
+	switch {
+	case n <= 12:
+		return Params{A1: 0.00, A2: 1.00, A3: 0.30, A4: 0.20}
+	case n <= 24:
+		return Params{A1: 0.00, A2: 1.00, A3: 0.50, A4: 0.15}
+	case n <= 48:
+		return Params{A1: 0.00, A2: 1.00, A3: 0.45, A4: 0.30}
+	default:
+		return Params{A1: 0.10, A2: 0.60, A3: 1.00, A4: 0.15}
+	}
+}
+
+// Clamp returns the parameters with negative weights zeroed (the score
+// model requires α >= 0).
+func (p Params) Clamp() Params {
+	c := p
+	if c.A1 < 0 {
+		c.A1 = 0
+	}
+	if c.A2 < 0 {
+		c.A2 = 0
+	}
+	if c.A3 < 0 {
+		c.A3 = 0
+	}
+	if c.A4 < 0 {
+		c.A4 = 0
+	}
+	return c
+}
+
+// Features are the four score terms of one pin given a partial selection.
+// The score is A1*F1 + A2*F2 - A3*F3 - A4*F4.
+type Features struct {
+	F1, F2, F3, F4 float64
+}
+
+// Score evaluates the policy on a feature vector.
+func (p Params) Score(f Features) float64 {
+	return p.A1*f.F1 + p.A2*f.F2 - p.A3*f.F3 - p.A4*f.F4
+}
+
+// PinFeatures computes the features of candidate pin `pin` given the
+// source, per-pin tree path lengths, and the already selected pins.
+func PinFeatures(net tree.Net, treeDist map[int]int64, pin int, selected []int) Features {
+	r := net.Source()
+	p := net.Pins[pin]
+	f := Features{
+		F1: float64(geom.Dist(r, p)),
+		F2: float64(treeDist[pin]),
+	}
+	if len(selected) > 0 {
+		minD := int64(1) << 62
+		pts := make([]geom.Point, 0, len(selected)+1)
+		pts = append(pts, p)
+		for _, s := range selected {
+			q := net.Pins[s]
+			if d := geom.Dist(p, q); d < minD {
+				minD = d
+			}
+			pts = append(pts, q)
+		}
+		f.F3 = float64(minD)
+		f.F4 = float64(geom.HPWL(pts...))
+	}
+	return f
+}
+
+// Select greedily picks up to k sink pins of the net by descending policy
+// score, using the tree t to supply the dist_T term. Returned pin indices
+// are sorted ascending.
+func Select(net tree.Net, t *tree.Tree, k int, params Params) []int {
+	n := net.Degree()
+	if k > n-1 {
+		k = n - 1
+	}
+	if k <= 0 {
+		return nil
+	}
+	treeDist := t.SinkDelays()
+	remaining := make([]int, 0, n-1)
+	for pin := 1; pin < n; pin++ {
+		remaining = append(remaining, pin)
+	}
+	var selected []int
+	for len(selected) < k && len(remaining) > 0 {
+		bestIdx, bestScore := -1, 0.0
+		for i, pin := range remaining {
+			s := params.Score(PinFeatures(net, treeDist, pin, selected))
+			if bestIdx < 0 || s > bestScore {
+				bestIdx, bestScore = i, s
+			}
+		}
+		selected = append(selected, remaining[bestIdx])
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+	sortInts(selected)
+	return selected
+}
+
+func sortInts(x []int) {
+	for i := 1; i < len(x); i++ {
+		for j := i; j > 0 && x[j] < x[j-1]; j-- {
+			x[j], x[j-1] = x[j-1], x[j]
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package policy
+
+import (
+	"math/rand"
+	"testing"
+
+	"patlabor/internal/geom"
+	"patlabor/internal/rsmt"
+	"patlabor/internal/tree"
+)
+
+func randNet(rng *rand.Rand, n int) tree.Net {
+	pins := make([]geom.Point, n)
+	for i := range pins {
+		pins[i] = geom.Pt(rng.Int63n(200), rng.Int63n(200))
+	}
+	return tree.Net{Pins: pins}
+}
+
+func TestSelectBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net := randNet(rng, 15)
+	base := rsmt.Tree(net)
+	sel := Select(net, base, 8, DefaultParams(15))
+	if len(sel) != 8 {
+		t.Fatalf("selected %d pins, want 8", len(sel))
+	}
+	seen := map[int]bool{}
+	for _, p := range sel {
+		if p < 1 || p >= net.Degree() {
+			t.Fatalf("selected invalid pin %d", p)
+		}
+		if seen[p] {
+			t.Fatalf("pin %d selected twice", p)
+		}
+		seen[p] = true
+	}
+	for i := 1; i < len(sel); i++ {
+		if sel[i] <= sel[i-1] {
+			t.Fatalf("selection not sorted: %v", sel)
+		}
+	}
+}
+
+func TestSelectPrefersFarPins(t *testing.T) {
+	// With pure distance weights the farthest pin must be selected first.
+	net := tree.NewNet(geom.Pt(0, 0),
+		geom.Pt(1, 1), geom.Pt(2, 2), geom.Pt(100, 100))
+	base := tree.Star(net)
+	sel := Select(net, base, 1, Params{A1: 1, A2: 1})
+	if len(sel) != 1 || sel[0] != 3 {
+		t.Fatalf("selection = %v, want [3]", sel)
+	}
+}
+
+func TestSelectClampsK(t *testing.T) {
+	net := tree.NewNet(geom.Pt(0, 0), geom.Pt(1, 1))
+	base := tree.Star(net)
+	if sel := Select(net, base, 8, DefaultParams(2)); len(sel) != 1 {
+		t.Fatalf("selection = %v", sel)
+	}
+	if sel := Select(net, base, 0, DefaultParams(2)); sel != nil {
+		t.Fatalf("k=0 selection = %v", sel)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	p := Params{A1: -1, A2: 2, A3: -3, A4: 4}.Clamp()
+	if p.A1 != 0 || p.A2 != 2 || p.A3 != 0 || p.A4 != 4 {
+		t.Fatalf("Clamp = %+v", p)
+	}
+}
+
+func TestPinFeaturesNoSelection(t *testing.T) {
+	net := tree.NewNet(geom.Pt(0, 0), geom.Pt(3, 4))
+	base := tree.Star(net)
+	f := PinFeatures(net, base.SinkDelays(), 1, nil)
+	if f.F1 != 7 || f.F2 != 7 || f.F3 != 0 || f.F4 != 0 {
+		t.Fatalf("features = %+v", f)
+	}
+}
+
+func TestDefaultParamsMonotoneBuckets(t *testing.T) {
+	for _, n := range []int{10, 20, 40, 100} {
+		p := DefaultParams(n)
+		if p.A2 <= 0 {
+			t.Fatalf("DefaultParams(%d).A2 = %v", n, p.A2)
+		}
+	}
+}
+
+func TestSolve(t *testing.T) {
+	// x = (1,2,3,4,5) with identity-ish system.
+	var a [5][5]float64
+	for i := 0; i < 5; i++ {
+		a[i][i] = 2
+	}
+	a[0][1] = 1
+	b := [5]float64{2*1 + 2, 4, 6, 8, 10}
+	x, ok := solve(a, b)
+	if !ok {
+		t.Fatal("solve failed")
+	}
+	want := [5]float64{1, 2, 3, 4, 5}
+	for i := range want {
+		if diff := x[i] - want[i]; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("x = %v, want %v", x, want)
+		}
+	}
+	// Singular system rejected.
+	var s [5][5]float64
+	if _, ok := solve(s, [5]float64{}); ok {
+		t.Fatal("singular system solved")
+	}
+}
+
+func TestTrainProducesUsableParams(t *testing.T) {
+	cfg := TrainConfig{
+		Degrees:   []int{10, 12},
+		Instances: 6,
+		Samples:   6,
+		K:         4,
+		Seed:      7,
+		Gen:       func(rng *rand.Rand, n int) tree.Net { return randNet(rng, n) },
+		Base:      func(net tree.Net) *tree.Tree { return rsmt.MST(net) },
+		// A toy objective: prefer selections whose pins are far from the
+		// source on the tree (correlates with F2).
+		Eval: func(net tree.Net, base *tree.Tree, sel []int) float64 {
+			d := base.SinkDelays()
+			var s float64
+			for _, pin := range sel {
+				s += float64(d[pin])
+			}
+			return s
+		},
+	}
+	params, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(params) != 2 {
+		t.Fatalf("trained %d degrees", len(params))
+	}
+	for n, p := range params {
+		if p.A1 < 0 || p.A2 < 0 || p.A3 < 0 || p.A4 < 0 {
+			t.Fatalf("degree %d: negative weights %+v", n, p)
+		}
+	}
+}
+
+func TestTrainRequiresCallbacks(t *testing.T) {
+	if _, err := Train(TrainConfig{Degrees: []int{10}}); err == nil {
+		t.Fatal("missing callbacks accepted")
+	}
+}

@@ -1,0 +1,207 @@
+package policy
+
+import (
+	"fmt"
+	"math/rand"
+
+	"patlabor/internal/tree"
+)
+
+// TrainConfig drives the policy-iteration trainer. Base and Eval decouple
+// the trainer from the local-search implementation (internal/core wires
+// them up), so training lives here without an import cycle.
+type TrainConfig struct {
+	// Degrees to train, processed in order (curriculum: each degree
+	// warm-starts greedy sampling from the previous degree's parameters).
+	Degrees []int
+	// Instances sampled per degree.
+	Instances int
+	// Candidate selections sampled per instance.
+	Samples int
+	// K is the selection size (λ-1); 0 defaults to 8.
+	K int
+	// Seed for the instance and selection sampling.
+	Seed int64
+	// Gen produces a random training net of the given degree.
+	Gen func(rng *rand.Rand, n int) tree.Net
+	// Base builds the tree the selection features are computed against
+	// (the current worst tree of the local search; typically the RSMT).
+	Base func(net tree.Net) *tree.Tree
+	// Eval scores a selection: the improvement one local-search step with
+	// this selection achieves (higher is better).
+	Eval func(net tree.Net, base *tree.Tree, selection []int) float64
+}
+
+// Train runs policy iteration across the curriculum and returns the
+// trained parameters per degree.
+func Train(cfg TrainConfig) (map[int]Params, error) {
+	if cfg.Gen == nil || cfg.Base == nil || cfg.Eval == nil {
+		return nil, fmt.Errorf("policy: TrainConfig requires Gen, Base and Eval")
+	}
+	if cfg.Instances <= 0 {
+		cfg.Instances = 20
+	}
+	if cfg.Samples <= 0 {
+		cfg.Samples = 12
+	}
+	if cfg.K <= 0 {
+		cfg.K = 8
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := make(map[int]Params, len(cfg.Degrees))
+	cur := DefaultParams(0) // warm start for the first degree
+	for _, n := range cfg.Degrees {
+		if n < 3 {
+			return nil, fmt.Errorf("policy: cannot train degree %d", n)
+		}
+		var feats []Features
+		var perfs []float64
+		for inst := 0; inst < cfg.Instances; inst++ {
+			net := cfg.Gen(rng, n)
+			base := cfg.Base(net)
+			treeDist := base.SinkDelays()
+			for s := 0; s < cfg.Samples; s++ {
+				var sel []int
+				if s%2 == 0 {
+					sel = randomSelection(rng, net.Degree(), cfg.K)
+				} else {
+					sel = noisyGreedy(rng, net, base, cfg.K, cur)
+				}
+				if len(sel) == 0 {
+					continue
+				}
+				f := selectionFeatures(net, treeDist, sel)
+				feats = append(feats, f)
+				perfs = append(perfs, cfg.Eval(net, base, sel))
+			}
+		}
+		p, ok := fit(feats, perfs)
+		if ok {
+			cur = normalize(p.Clamp())
+		}
+		out[n] = cur
+	}
+	return out, nil
+}
+
+// selectionFeatures sums the per-pin features in selection order,
+// normalised by the selection size.
+func selectionFeatures(net tree.Net, treeDist map[int]int64, sel []int) Features {
+	var acc Features
+	for i, pin := range sel {
+		f := PinFeatures(net, treeDist, pin, sel[:i])
+		acc.F1 += f.F1
+		acc.F2 += f.F2
+		acc.F3 += f.F3
+		acc.F4 += f.F4
+	}
+	k := float64(len(sel))
+	return Features{F1: acc.F1 / k, F2: acc.F2 / k, F3: acc.F3 / k, F4: acc.F4 / k}
+}
+
+func randomSelection(rng *rand.Rand, degree, k int) []int {
+	if k > degree-1 {
+		k = degree - 1
+	}
+	perm := rng.Perm(degree - 1)
+	sel := make([]int, k)
+	for i := 0; i < k; i++ {
+		sel[i] = perm[i] + 1
+	}
+	sortInts(sel)
+	return sel
+}
+
+// noisyGreedy perturbs the greedy policy selection for exploration.
+func noisyGreedy(rng *rand.Rand, net tree.Net, base *tree.Tree, k int, p Params) []int {
+	noisy := Params{
+		A1: p.A1 * (0.5 + rng.Float64()),
+		A2: p.A2 * (0.5 + rng.Float64()),
+		A3: p.A3 * (0.5 + rng.Float64()),
+		A4: p.A4 * (0.5 + rng.Float64()),
+	}
+	return Select(net, base, k, noisy)
+}
+
+// normalize rescales the weights so the dominant one is 1 — only ratios
+// matter for the greedy argmax selection. A degenerate all-zero fit falls
+// back to a pure tree-distance policy.
+func normalize(p Params) Params {
+	m := p.A1
+	for _, v := range []float64{p.A2, p.A3, p.A4} {
+		if v > m {
+			m = v
+		}
+	}
+	if m <= 0 {
+		return Params{A2: 1}
+	}
+	return Params{A1: p.A1 / m, A2: p.A2 / m, A3: p.A3 / m, A4: p.A4 / m}
+}
+
+// fit solves the least-squares regression perf ~ b0 + b·F and maps the
+// coefficients onto score weights (signs of F3/F4 flipped). Returns false
+// when the normal equations are singular.
+func fit(feats []Features, perfs []float64) (Params, bool) {
+	if len(feats) < 8 {
+		return Params{}, false
+	}
+	const dim = 5
+	var ata [dim][dim]float64
+	var atb [dim]float64
+	for i, f := range feats {
+		x := [dim]float64{1, f.F1, f.F2, f.F3, f.F4}
+		for r := 0; r < dim; r++ {
+			for c := 0; c < dim; c++ {
+				ata[r][c] += x[r] * x[c]
+			}
+			atb[r] += x[r] * perfs[i]
+		}
+	}
+	sol, ok := solve(ata, atb)
+	if !ok {
+		return Params{}, false
+	}
+	return Params{A1: sol[1], A2: sol[2], A3: -sol[3], A4: -sol[4]}, true
+}
+
+// solve performs Gaussian elimination with partial pivoting on a 5x5
+// system.
+func solve(a [5][5]float64, b [5]float64) ([5]float64, bool) {
+	const dim = 5
+	for col := 0; col < dim; col++ {
+		piv := col
+		for r := col + 1; r < dim; r++ {
+			if abs(a[r][col]) > abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if abs(a[piv][col]) < 1e-12 {
+			return [5]float64{}, false
+		}
+		a[col], a[piv] = a[piv], a[col]
+		b[col], b[piv] = b[piv], b[col]
+		for r := 0; r < dim; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r][col] / a[col][col]
+			for c := col; c < dim; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	var x [5]float64
+	for i := 0; i < dim; i++ {
+		x[i] = b[i] / a[i][i]
+	}
+	return x, true
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

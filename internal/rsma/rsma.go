@@ -1,0 +1,133 @@
+// Package rsma constructs rectilinear Steiner arborescences: trees in
+// which every source-to-sink path is a shortest rectilinear path, so the
+// delay of every sink is its L1 distance from the source — the minimum any
+// routing tree can achieve. The wirelength is at most twice optimal.
+//
+// It stands in for the Córdova–Lee heuristic [11] wherever the paper uses
+// it, notably as the delay normaliser d(CL) of Figure 7. The construction
+// is the classic merge heuristic for rectilinear Steiner arborescences
+// (Rao–Sadayappan–Hwang [10], which Córdova–Lee refines): per quadrant of
+// the source, repeatedly merge the two points whose "meet" (componentwise
+// toward the source) is farthest from the source.
+package rsma
+
+import (
+	"patlabor/internal/geom"
+	"patlabor/internal/tree"
+)
+
+// Tree returns a shortest-path rectilinear Steiner arborescence for the
+// net, rooted at the source. Every sink's path length equals its L1
+// distance from the source.
+func Tree(net tree.Net) *tree.Tree {
+	t := tree.New(net.Source(), 0)
+	src := net.Source()
+	// Partition sinks into the four closed quadrants around the source.
+	quadOf := func(p geom.Point) int {
+		q := 0
+		if p.X < src.X {
+			q |= 1
+		}
+		if p.Y < src.Y {
+			q |= 2
+		}
+		return q
+	}
+	quads := make([][]sink, 4)
+	for pin := 1; pin < net.Degree(); pin++ {
+		p := net.Pins[pin]
+		q := quadOf(p)
+		tp := geom.Pt(geom.Abs64(p.X-src.X), geom.Abs64(p.Y-src.Y))
+		quads[q] = append(quads[q], sink{pin: pin, p: tp})
+	}
+	for q, sinks := range quads {
+		if len(sinks) == 0 {
+			continue
+		}
+		buildQuadrant(t, src, q, sinks)
+	}
+	t.Compact()
+	return t
+}
+
+// Wirelength returns the wirelength of Tree(net).
+func Wirelength(net tree.Net) int64 { return Tree(net).Wirelength() }
+
+// MinDelay returns the delay of any shortest-path tree: the maximum L1
+// distance from the source to a sink. It is a lower bound on d(T) for
+// every routing tree T of the net.
+func MinDelay(net tree.Net) int64 {
+	var d int64
+	for _, p := range net.Sinks() {
+		if x := geom.Dist(net.Source(), p); x > d {
+			d = x
+		}
+	}
+	return d
+}
+
+// sink is a quadrant-local sink: the original pin index and its
+// first-quadrant transformed position.
+type sink struct {
+	pin int
+	p   geom.Point
+}
+
+// buildQuadrant runs the merge heuristic on first-quadrant-transformed
+// sinks and grafts the resulting arborescence onto t, mapping positions
+// back through the quadrant reflection.
+func buildQuadrant(t *tree.Tree, src geom.Point, quad int, sinks []sink) {
+	back := func(p geom.Point) geom.Point {
+		x, y := p.X, p.Y
+		if quad&1 != 0 {
+			x = -x
+		}
+		if quad&2 != 0 {
+			y = -y
+		}
+		return geom.Pt(src.X+x, src.Y+y)
+	}
+	// Active forest roots: position plus the tree node realising it.
+	type active struct {
+		p    geom.Point
+		node int
+	}
+	acts := make([]active, 0, len(sinks))
+	for _, s := range sinks {
+		node := t.Add(back(s.p), s.pin, t.Root) // parent fixed on merge
+		acts = append(acts, active{p: s.p, node: node})
+	}
+	// Merge until one root remains: pick the pair whose meet point is
+	// farthest from the origin (ties by smaller index for determinism).
+	for len(acts) > 1 {
+		bestI, bestJ := -1, -1
+		var bestGain int64 = -1
+		for i := 0; i < len(acts); i++ {
+			for j := i + 1; j < len(acts); j++ {
+				m := geom.Meet(acts[i].p, acts[j].p)
+				g := m.X + m.Y
+				if g > bestGain {
+					bestGain, bestI, bestJ = g, i, j
+				}
+			}
+		}
+		m := geom.Meet(acts[bestI].p, acts[bestJ].p)
+		var node int
+		switch m {
+		case acts[bestI].p:
+			// The meet coincides with point i: reparent j under i.
+			node = acts[bestI].node
+			t.Parent[acts[bestJ].node] = node
+		case acts[bestJ].p:
+			node = acts[bestJ].node
+			t.Parent[acts[bestI].node] = node
+		default:
+			node = t.Add(back(m), -1, t.Root)
+			t.Parent[acts[bestI].node] = node
+			t.Parent[acts[bestJ].node] = node
+		}
+		acts[bestI] = active{p: m, node: node}
+		acts = append(acts[:bestJ], acts[bestJ+1:]...)
+	}
+	t.Parent[acts[0].node] = t.Root
+}

@@ -1,0 +1,88 @@
+// Package salt implements the SALT baseline [5] (Chen & Young): Steiner
+// shallow-light trees controlled by a tradeoff parameter ε. SALT starts
+// from a Steiner minimal tree and enforces, with a KRY-style traversal,
+// that every sink's tree path is at most (1+ε) times its L1 distance from
+// the source, breaking the budget by shortcutting the offending sink to
+// the source. Post-processing (delay-preserving Steinerisation and a
+// Steiner-relocation variant) recovers wirelength, as in SALT's refinement
+// stage.
+//
+// ε → ∞ reproduces the SMT; ε = 0 forces a shortest-path tree. Sweeping ε
+// produces the Pareto set the paper compares against (SALT generates one
+// tree per parameter value; the sweep is how "SALT with different
+// parameters" obtains a solution set in §VI).
+package salt
+
+import (
+	"math"
+
+	"patlabor/internal/geom"
+	"patlabor/internal/pareto"
+	"patlabor/internal/rsmt"
+	"patlabor/internal/tree"
+)
+
+// Build constructs a shallow-light tree with parameter eps >= 0. The
+// returned tree satisfies pathlen(v) <= (1+eps)·‖r−v‖₁ for every sink v.
+func Build(net tree.Net, eps float64) *tree.Tree {
+	t := rsmt.Tree(net)
+	return Rebalance(t, net, eps)
+}
+
+// Rebalance enforces the (1+eps) shallowness bound on a copy of t by
+// shortcutting breaching sinks to the source, then Steinerises. The input
+// tree is not modified.
+func Rebalance(t *tree.Tree, net tree.Net, eps float64) *tree.Tree {
+	out := t.Clone()
+	src := net.Source()
+	order := out.TopoOrder()
+	pl := make([]int64, out.Len())
+	for _, v := range order {
+		p := out.Parent[v]
+		if p < 0 {
+			continue
+		}
+		pl[v] = pl[p] + geom.Dist(out.Nodes[v].P, out.Nodes[p].P)
+		nd := out.Nodes[v]
+		if nd.Pin < 1 {
+			continue
+		}
+		direct := geom.Dist(src, nd.P)
+		if float64(pl[v]) > (1+eps)*float64(direct) {
+			// Breach: shortcut the sink straight to the source.
+			out.Parent[v] = out.Root
+			pl[v] = direct
+		}
+	}
+	out.Compact()
+	out.Steinerize()
+	return out
+}
+
+// DefaultEpsilons is the parameter grid used when sweeping SALT to obtain
+// a solution set. It spans shortest-path trees (0) to the pure SMT (+Inf).
+func DefaultEpsilons() []float64 {
+	return []float64{0, 0.02, 0.05, 0.1, 0.15, 0.25, 0.4, 0.6, 0.9, 1.3, 2, 3, 5, math.Inf(1)}
+}
+
+// Sweep runs SALT across the parameter grid and returns the Pareto set of
+// the produced trees (including Steiner-relocation variants).
+func Sweep(net tree.Net, epsilons []float64) []pareto.Item[*tree.Tree] {
+	if len(epsilons) == 0 {
+		epsilons = DefaultEpsilons()
+	}
+	set := &pareto.Set[*tree.Tree]{}
+	base := rsmt.Tree(net)
+	for _, eps := range epsilons {
+		t := Rebalance(base, net, eps)
+		set.Add(t.Sol(), t)
+		// Wirelength-greedy variant: relocating Steiner points may trade
+		// delay for wirelength; offer it as another candidate.
+		v := t.Clone()
+		if v.RelocateSteiners() {
+			v.Steinerize()
+			set.Add(v.Sol(), v)
+		}
+	}
+	return set.Items()
+}

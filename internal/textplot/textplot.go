@@ -1,0 +1,142 @@
+// Package textplot renders small scatter plots and Pareto curves as ASCII
+// art for terminal output of the experiment harness and examples.
+package textplot
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Series is one labelled point set. Glyph is the plot character; when
+// zero, the first character of Label is used.
+type Series struct {
+	Label string
+	Glyph byte
+	X, Y  []float64
+}
+
+func (s Series) glyph() byte {
+	if s.Glyph != 0 {
+		return s.Glyph
+	}
+	if s.Label != "" {
+		return s.Label[0]
+	}
+	return '*'
+}
+
+// Plot renders the series into a width×height character grid with simple
+// axes and a legend line per series. X grows rightward, Y grows upward.
+func Plot(series []Series, width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 6 {
+		height = 6
+	}
+	minX, maxX, minY, maxY, any := bounds(series)
+	if !any {
+		return "(no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range series {
+		glyph := s.glyph()
+		for i := range s.X {
+			c := int(float64(width-1) * (s.X[i] - minX) / (maxX - minX))
+			r := int(float64(height-1) * (s.Y[i] - minY) / (maxY - minY))
+			row := height - 1 - r
+			if row >= 0 && row < height && c >= 0 && c < width {
+				grid[row][c] = glyph
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10.4g ┤\n", maxY)
+	for _, row := range grid {
+		fmt.Fprintf(&b, "%10s │%s\n", "", string(row))
+	}
+	fmt.Fprintf(&b, "%10.4g └%s\n", minY, strings.Repeat("─", width))
+	fmt.Fprintf(&b, "%10s  %-*.4g%*.4g\n", "", width/2, minX, width-width/2, maxX)
+	for _, s := range series {
+		if s.Label != "" {
+			fmt.Fprintf(&b, "    %c = %s\n", s.glyph(), s.Label)
+		}
+	}
+	return b.String()
+}
+
+func bounds(series []Series) (minX, maxX, minY, maxY float64, any bool) {
+	for _, s := range series {
+		for i := range s.X {
+			if !any {
+				minX, maxX, minY, maxY = s.X[i], s.X[i], s.Y[i], s.Y[i]
+				any = true
+				continue
+			}
+			if s.X[i] < minX {
+				minX = s.X[i]
+			}
+			if s.X[i] > maxX {
+				maxX = s.X[i]
+			}
+			if s.Y[i] < minY {
+				minY = s.Y[i]
+			}
+			if s.Y[i] > maxY {
+				maxY = s.Y[i]
+			}
+		}
+	}
+	return
+}
+
+// Table renders rows as a fixed-width text table with a header. Rows may
+// be shorter or longer than the header; extra columns get empty headings.
+func Table(header []string, rows [][]string) string {
+	cols := len(header)
+	for _, row := range rows {
+		if len(row) > cols {
+			cols = len(row)
+		}
+	}
+	widths := make([]int, cols)
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(header)
+	sep := make([]string, cols)
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range rows {
+		line(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,71 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlotBasic(t *testing.T) {
+	out := Plot([]Series{
+		{Label: "a-series", X: []float64{0, 1, 2}, Y: []float64{0, 1, 4}},
+		{Label: "b-series", X: []float64{0, 1, 2}, Y: []float64{4, 1, 0}},
+	}, 40, 10)
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Fatalf("glyphs missing:\n%s", out)
+	}
+	if !strings.Contains(out, "a = a-series") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	if out := Plot(nil, 40, 10); !strings.Contains(out, "no data") {
+		t.Fatalf("empty plot = %q", out)
+	}
+}
+
+func TestPlotDegenerateRange(t *testing.T) {
+	out := Plot([]Series{{Label: "x", X: []float64{5, 5}, Y: []float64{3, 3}}}, 20, 8)
+	if out == "" || strings.Contains(out, "NaN") {
+		t.Fatalf("degenerate plot = %q", out)
+	}
+}
+
+func TestPlotMinimumSize(t *testing.T) {
+	out := Plot([]Series{{Label: "x", X: []float64{0, 1}, Y: []float64{0, 1}}}, 1, 1)
+	if len(strings.Split(out, "\n")) < 6 {
+		t.Fatalf("plot too small:\n%s", out)
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table([]string{"name", "value"}, [][]string{
+		{"alpha", "1"},
+		{"beta-long", "22222"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") || !strings.Contains(lines[3], "beta-long") {
+		t.Fatalf("table layout wrong:\n%s", out)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	out := Table([]string{"a"}, [][]string{
+		{"1", "extra"},
+		{"2"},
+		{},
+	})
+	if !strings.Contains(out, "extra") {
+		t.Fatalf("ragged table = %q", out)
+	}
+}
+
+func TestPlotCustomGlyph(t *testing.T) {
+	out := Plot([]Series{{Label: "PatLabor", Glyph: 'X', X: []float64{0, 1}, Y: []float64{0, 1}}}, 20, 6)
+	if !strings.Contains(out, "X = PatLabor") || !strings.Contains(out, "X") {
+		t.Fatalf("glyph plot = %q", out)
+	}
+}

@@ -1,0 +1,162 @@
+package tree
+
+import "patlabor/internal/geom"
+
+// Compact removes useless Steiner nodes in place: Steiner leaves are
+// dropped and Steiner nodes with exactly one child are spliced out
+// (their child is reattached to their parent). Both operations never
+// increase wirelength or any source-sink path length. Node indices are
+// renumbered; the root keeps realising the source pin.
+func (t *Tree) Compact() {
+	for {
+		ch := t.Children()
+		victim := -1
+		for i, nd := range t.Nodes {
+			if i == t.Root {
+				continue
+			}
+			if nd.IsSteiner() && len(ch[i]) <= 1 {
+				victim = i
+				break
+			}
+			// A pin co-located with a Steiner parent absorbs the parent's
+			// role: promote the pin into the parent node and drop the
+			// child (its own children, if any, are re-homed below).
+			p := t.Parent[i]
+			if !nd.IsSteiner() && t.Nodes[p].IsSteiner() && t.Nodes[p].P == nd.P {
+				t.Nodes[p].Pin = nd.Pin
+				t.Nodes[i].Pin = -1
+				if len(ch[i]) <= 1 {
+					victim = i
+					break
+				}
+			}
+		}
+		if victim < 0 {
+			return
+		}
+		// Splice: reattach the (at most one) child to victim's parent.
+		for _, c := range ch[victim] {
+			t.Parent[c] = t.Parent[victim]
+		}
+		t.remove(victim)
+	}
+}
+
+// remove deletes node i, renumbering indices. The caller must have
+// re-homed i's children first.
+func (t *Tree) remove(i int) {
+	last := len(t.Nodes) - 1
+	// Move the last node into slot i.
+	if i != last {
+		t.Nodes[i] = t.Nodes[last]
+		t.Parent[i] = t.Parent[last]
+		for j := range t.Parent {
+			if t.Parent[j] == last {
+				t.Parent[j] = i
+			}
+		}
+		if t.Root == last {
+			t.Root = i
+		}
+	}
+	t.Nodes = t.Nodes[:last]
+	t.Parent = t.Parent[:last]
+}
+
+// Steinerize reduces wirelength in place by inserting Steiner points:
+// for a node v with children a and b, the componentwise median s of
+// (v, a, b) lies inside the pairwise bounding boxes, so replacing edges
+// (v,a),(v,b) by (v,s),(s,a),(s,b) saves exactly dist(v,s) wirelength
+// while leaving every source-sink path length unchanged. The pass greedily
+// applies the best saving until none remains, then compacts.
+func (t *Tree) Steinerize() {
+	for {
+		ch := t.Children()
+		bestGain := int64(0)
+		bestV, bestA, bestB := -1, -1, -1
+		var bestS geom.Point
+		for v := range t.Nodes {
+			kids := ch[v]
+			for i := 0; i < len(kids); i++ {
+				for j := i + 1; j < len(kids); j++ {
+					a, b := kids[i], kids[j]
+					s := medianOf3(t.Nodes[v].P, t.Nodes[a].P, t.Nodes[b].P)
+					gain := geom.Dist(t.Nodes[v].P, s)
+					if gain > bestGain {
+						bestGain, bestV, bestA, bestB, bestS = gain, v, a, b, s
+					}
+				}
+			}
+		}
+		if bestGain == 0 {
+			break
+		}
+		s := t.Add(bestS, -1, bestV)
+		t.Parent[bestA] = s
+		t.Parent[bestB] = s
+	}
+	t.Compact()
+}
+
+func medianOf3(a, b, c geom.Point) geom.Point {
+	return geom.Point{X: med3(a.X, b.X, c.X), Y: med3(a.Y, b.Y, c.Y)}
+}
+
+func med3(a, b, c int64) int64 {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b = c
+	}
+	if a > b {
+		b = a
+	}
+	return b
+}
+
+// RelocateSteiners moves each Steiner node to the componentwise median of
+// its parent and children when that strictly reduces wirelength. Unlike
+// Steinerize this may lengthen individual source-sink paths, so callers
+// should treat the result as a candidate and Pareto-filter it against the
+// original. It reports whether any node moved.
+func (t *Tree) RelocateSteiners() bool {
+	moved := false
+	for pass := 0; pass < len(t.Nodes); pass++ {
+		ch := t.Children()
+		changed := false
+		for i, nd := range t.Nodes {
+			if !nd.IsSteiner() || i == t.Root {
+				continue
+			}
+			nbr := []geom.Point{t.Nodes[t.Parent[i]].P}
+			for _, c := range ch[i] {
+				nbr = append(nbr, t.Nodes[c].P)
+			}
+			m := geom.MedianPoint(nbr)
+			if m == nd.P {
+				continue
+			}
+			before := localWL(nd.P, nbr)
+			after := localWL(m, nbr)
+			if after < before {
+				t.Nodes[i].P = m
+				changed = true
+				moved = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return moved
+}
+
+func localWL(p geom.Point, nbr []geom.Point) int64 {
+	var s int64
+	for _, q := range nbr {
+		s += geom.Dist(p, q)
+	}
+	return s
+}

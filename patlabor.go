@@ -1,0 +1,232 @@
+// Package patlabor is a from-scratch Go implementation of PatLabor
+// ("Pareto Optimization of Timing-Driven Routing Trees", DAC 2025):
+// bicriterion routing-tree construction that returns the Pareto frontier
+// of total wirelength w(T) and source-to-sink delay d(T) instead of a
+// single parameter-tuned compromise.
+//
+// The entry point is Route: exact Pareto frontiers for small-degree nets
+// (lookup tables / Pareto-DW dynamic programming) and policy-guided local
+// search for large-degree nets. The baselines the paper compares against
+// (SALT, YSD, Prim–Dijkstra, RSMT/FLUTE-role, RSMA/CL-role, Pareto-KS) are
+// exposed for benchmarking. See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the paper-versus-measured record.
+//
+//	net := patlabor.NewNet(patlabor.Pt(0, 0), patlabor.Pt(40, 10), patlabor.Pt(35, -20))
+//	cands, err := patlabor.Route(net, patlabor.Options{})
+//	for _, c := range cands {
+//	    fmt.Println(c.Sol.W, c.Sol.D) // one tree per Pareto point in c.Val
+//	}
+package patlabor
+
+import (
+	"fmt"
+
+	"patlabor/internal/bookshelf"
+	"patlabor/internal/core"
+	"patlabor/internal/dw"
+	"patlabor/internal/elmore"
+	"patlabor/internal/geom"
+	"patlabor/internal/ks"
+	"patlabor/internal/lut"
+	"patlabor/internal/pareto"
+	"patlabor/internal/pd"
+	"patlabor/internal/policy"
+	"patlabor/internal/rsma"
+	"patlabor/internal/rsmt"
+	"patlabor/internal/salt"
+	"patlabor/internal/tree"
+	"patlabor/internal/ysd"
+)
+
+// Point is a pin position in the rectilinear plane.
+type Point = geom.Point
+
+// Pt constructs a Point.
+func Pt(x, y int64) Point { return geom.Pt(x, y) }
+
+// Net is a routing instance: Pins[0] is the source, the rest are sinks.
+type Net = tree.Net
+
+// NewNet builds a net from a source and its sinks.
+func NewNet(source Point, sinks ...Point) Net { return tree.NewNet(source, sinks...) }
+
+// Tree is a rooted rectilinear Steiner routing tree.
+type Tree = tree.Tree
+
+// Solution is one objective vector (wirelength W, delay D).
+type Solution = pareto.Sol
+
+// Candidate pairs a Pareto-optimal objective vector with a tree attaining
+// it.
+type Candidate = pareto.Item[*tree.Tree]
+
+// Options configures Route.
+type Options struct {
+	// Lambda is the small-net threshold λ (default 9): nets with at most
+	// λ pins are solved exactly; larger nets use local search with
+	// λ-pin lookup-table regeneration steps.
+	Lambda int
+	// Iterations overrides the local-search iteration count (default
+	// ⌊n/λ⌋ as in the paper).
+	Iterations int
+	// TablePath optionally points at a lookup-table file produced by
+	// cmd/lutgen; its degrees are merged over the built-in eager tables.
+	TablePath string
+	// PolicyParams overrides the trained pin-selection policy weights.
+	PolicyParams *PolicyParams
+}
+
+// PolicyParams are the four selection-policy weights of §V-B.
+type PolicyParams = policy.Params
+
+// Route computes a Pareto set of routing trees for the net: the exact
+// frontier when the degree is at most λ, a locally searched approximation
+// otherwise. Candidates are ordered by increasing wirelength (and thus
+// decreasing delay).
+func Route(net Net, opts Options) ([]Candidate, error) {
+	copts, err := prepareOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	return core.Route(net, copts)
+}
+
+// prepareOptions resolves the public Options into the core configuration,
+// loading the lookup-table file (if any) exactly once.
+func prepareOptions(opts Options) (core.Options, error) {
+	copts := core.Options{
+		Lambda:     opts.Lambda,
+		Iterations: opts.Iterations,
+		Params:     opts.PolicyParams,
+	}
+	if opts.TablePath != "" {
+		t := lut.New()
+		if err := t.LoadFile(opts.TablePath); err != nil {
+			return core.Options{}, fmt.Errorf("patlabor: loading table: %w", err)
+		}
+		// Merge the built-in eager degrees underneath.
+		for d := 2; d <= lut.DefaultEagerDegree; d++ {
+			if !t.Covers(d) {
+				if err := t.Generate(d, 0); err != nil {
+					return core.Options{}, err
+				}
+			}
+		}
+		copts.Table = t
+	}
+	return copts, nil
+}
+
+// ExactFrontier computes the provably exact Pareto frontier with the
+// Pareto-DW dynamic program. The degree must be at most MaxExactDegree.
+func ExactFrontier(net Net) ([]Candidate, error) {
+	return dw.Frontier(net, dw.DefaultOptions())
+}
+
+// MaxExactDegree is the largest degree ExactFrontier accepts.
+const MaxExactDegree = dw.MaxExactDegree
+
+// RSMT returns a low-wirelength Steiner tree (FLUTE's role in the paper):
+// exact minimum wirelength for small degrees, strong heuristics beyond.
+func RSMT(net Net) *Tree { return rsmt.Tree(net) }
+
+// RSMA returns a shortest-path Steiner arborescence (the Córdova–Lee
+// role): every sink is reached with minimum possible delay.
+func RSMA(net Net) *Tree { return rsma.Tree(net) }
+
+// SALTSweep runs the SALT baseline across an ε grid (nil for defaults) and
+// returns the Pareto set of the produced trees.
+func SALTSweep(net Net, epsilons []float64) []Candidate {
+	return salt.Sweep(net, epsilons)
+}
+
+// YSDSweep runs the YSD weighted-sum baseline across a β grid (nil for
+// defaults).
+func YSDSweep(net Net, betas []float64) ([]Candidate, error) {
+	return ysd.Sweep(net, betas)
+}
+
+// PDSweep runs the Prim–Dijkstra baseline across an α grid (nil for
+// defaults).
+func PDSweep(net Net, alphas []float64) []Candidate {
+	return pd.Sweep(net, alphas)
+}
+
+// KSFrontier runs the Pareto-KS divide-and-conquer approximation (§IV-B).
+func KSFrontier(net Net) ([]Candidate, error) {
+	return ks.Frontier(net, ks.Options{})
+}
+
+// RouteAll routes many nets concurrently with the given number of workers
+// (<=0 uses one per net, capped at 16). Results are positionally aligned
+// with nets; the first error aborts the batch.
+func RouteAll(nets []Net, opts Options, workers int) ([][]Candidate, error) {
+	if workers <= 0 {
+		workers = len(nets)
+		if workers > 16 {
+			workers = 16
+		}
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	copts, err := prepareOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]Candidate, len(nets))
+	errs := make(chan error, workers)
+	jobs := make(chan int, len(nets))
+	for i := range nets {
+		jobs <- i
+	}
+	close(jobs)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := range jobs {
+				cands, err := core.Route(nets[i], copts)
+				if err != nil {
+					errs <- fmt.Errorf("net %d: %w", i, err)
+					return
+				}
+				out[i] = cands
+			}
+			errs <- nil
+		}()
+	}
+	var firstErr error
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// ElmoreParams are the RC parameters of the Elmore delay model (see
+// internal/elmore): an evaluation-model extension beyond the paper's
+// path-length delay.
+type ElmoreParams = elmore.Params
+
+// TypicalElmoreParams returns plausible normalised RC parameters.
+func TypicalElmoreParams() ElmoreParams { return elmore.TypicalParams() }
+
+// ElmoreDelay returns the maximum sink Elmore delay of a tree.
+func ElmoreDelay(t *Tree, p ElmoreParams) float64 { return elmore.MaxDelay(t, p) }
+
+// ElmoreRank returns the indices of the candidates that remain Pareto
+// optimal when delay is re-evaluated under the Elmore model.
+func ElmoreRank(cands []Candidate, p ElmoreParams) []int { return elmore.Rank(cands, p) }
+
+// NamedNet pairs a net with a name, as read from net files.
+type NamedNet = bookshelf.NamedNet
+
+// ReadNets parses a Bookshelf-style net file (see internal/bookshelf for
+// the format).
+func ReadNets(path string) ([]NamedNet, error) { return bookshelf.ReadFile(path) }
+
+// WriteNets writes nets in the format ReadNets parses.
+func WriteNets(path string, nets []NamedNet) error { return bookshelf.WriteFile(path, nets) }

@@ -1,0 +1,152 @@
+package patlabor
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+func TestRouteSmallPublicAPI(t *testing.T) {
+	net := NewNet(Pt(0, 0), Pt(40, 10), Pt(35, -20), Pt(-15, 25))
+	cands, err := Route(net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	exact, err := ExactFrontier(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != len(exact) {
+		t.Fatalf("Route %d candidates, exact %d", len(cands), len(exact))
+	}
+	for i := range cands {
+		if cands[i].Sol != exact[i].Sol {
+			t.Fatalf("candidate %d = %v, exact %v", i, cands[i].Sol, exact[i].Sol)
+		}
+		if err := cands[i].Val.Validate(net); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRouteLargePublicAPI(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pins := make([]Point, 18)
+	for i := range pins {
+		pins[i] = Pt(rng.Int63n(1000), rng.Int63n(1000))
+	}
+	net := Net{Pins: pins}
+	cands, err := Route(net, Options{Lambda: 7, Iterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cands {
+		if err := c.Val.Validate(net); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBaselinesPublicAPI(t *testing.T) {
+	net := NewNet(Pt(0, 0), Pt(100, 30), Pt(90, -40), Pt(-60, 70), Pt(20, 110))
+	if tr := RSMT(net); tr.Validate(net) != nil {
+		t.Fatal("RSMT invalid")
+	}
+	if tr := RSMA(net); tr.Validate(net) != nil {
+		t.Fatal("RSMA invalid")
+	}
+	if items := SALTSweep(net, nil); len(items) == 0 {
+		t.Fatal("SALT sweep empty")
+	}
+	if items, err := YSDSweep(net, nil); err != nil || len(items) == 0 {
+		t.Fatalf("YSD sweep: %v, %d items", err, len(items))
+	}
+	if items := PDSweep(net, nil); len(items) == 0 {
+		t.Fatal("PD sweep empty")
+	}
+	if items, err := KSFrontier(net); err != nil || len(items) == 0 {
+		t.Fatalf("KS frontier: %v, %d items", err, len(items))
+	}
+}
+
+func TestNetFileRoundTripPublicAPI(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nets.txt")
+	nets := []NamedNet{{Name: "demo", Net: NewNet(Pt(0, 0), Pt(5, 5), Pt(-3, 8))}}
+	if err := WriteNets(path, nets); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadNets(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].Name != "demo" || back[0].Net.Degree() != 3 {
+		t.Fatalf("round trip = %+v", back)
+	}
+}
+
+func TestRouteWithTablePath(t *testing.T) {
+	// A missing table file must error cleanly.
+	net := NewNet(Pt(0, 0), Pt(1, 1))
+	if _, err := Route(net, Options{TablePath: filepath.Join(t.TempDir(), "nope.gob")}); err == nil {
+		t.Fatal("missing table accepted")
+	}
+}
+
+func TestRouteAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	nets := make([]Net, 9)
+	for i := range nets {
+		pins := make([]Point, 4+rng.Intn(4))
+		for j := range pins {
+			pins[j] = Pt(rng.Int63n(500), rng.Int63n(500))
+		}
+		nets[i] = Net{Pins: pins}
+	}
+	batch, err := RouteAll(nets, Options{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(nets) {
+		t.Fatalf("batch size %d", len(batch))
+	}
+	for i, cands := range batch {
+		want, err := Route(nets[i], Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cands) != len(want) {
+			t.Fatalf("net %d: concurrent result differs", i)
+		}
+		for k := range want {
+			if cands[k].Sol != want[k].Sol {
+				t.Fatalf("net %d: concurrent result differs at %d", i, k)
+			}
+		}
+	}
+	// Errors propagate.
+	bad := []Net{{}}
+	if _, err := RouteAll(bad, Options{}, 2); err == nil {
+		t.Fatal("empty net accepted")
+	}
+}
+
+func TestElmorePublicAPI(t *testing.T) {
+	net := NewNet(Pt(180, 70), Pt(50, 0), Pt(50, 140), Pt(100, 100), Pt(20, 60))
+	cands, err := Route(net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := TypicalElmoreParams()
+	kept := ElmoreRank(cands, p)
+	if len(kept) == 0 {
+		t.Fatal("Elmore rank kept nothing")
+	}
+	for _, idx := range kept {
+		if d := ElmoreDelay(cands[idx].Val, p); d <= 0 {
+			t.Fatalf("Elmore delay = %v", d)
+		}
+	}
+}
