@@ -6,7 +6,9 @@
 package patlabor
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"patlabor/internal/core"
@@ -121,7 +123,7 @@ func BenchmarkFig7bLargeNets(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := exp.RunLarge("fig7b", nets, false)
+		res, err := exp.RunLarge(cfg, "fig7b", nets, false)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -136,7 +138,7 @@ func BenchmarkFig7cDegree100(b *testing.B) {
 	nets := exp.Degree100Nets(cfg)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := exp.RunLarge("fig7c", nets, false)
+		res, err := exp.RunLarge(cfg, "fig7c", nets, false)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -179,6 +181,38 @@ func BenchmarkAblationAll(b *testing.B) {
 		if _, err := exp.RunAblation(cfg); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkRouteAll measures the batch-routing engine on a fixed mixed
+// batch (small exact-frontier nets plus large local-search nets) at
+// several worker-pool sizes. The workers=1 sub-benchmark is the serial
+// baseline; the speedup of workers=N over workers=1 is recorded in
+// EXPERIMENTS.md.
+func BenchmarkRouteAll(b *testing.B) {
+	rng := rand.New(rand.NewSource(2024))
+	nets := make([]Net, 48)
+	for i := range nets {
+		deg := 4 + rng.Intn(6) // 4..9: exact small-net path
+		if i%4 == 0 {
+			deg = 14 + rng.Intn(12) // local-search path
+		}
+		nets[i] = netgen.Clustered(rng, deg, 100000, 4000)
+	}
+	// Warm the shared lookup table so no sub-benchmark pays the one-time
+	// generation cost.
+	if _, err := RouteAll(nets[:1], Options{}, 1); err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := RouteAll(nets, Options{}, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(nets)), "nets/op")
+		})
 	}
 }
 

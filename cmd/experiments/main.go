@@ -28,6 +28,7 @@ func main() {
 	nets := flag.Int("nets", 0, "override nets per design")
 	seed := flag.Int64("seed", 0, "override suite seed")
 	table := flag.String("table", "", "lookup-table file from cmd/lutgen, merged into the default table (speeds up PatLabor's small-net path)")
+	workers := flag.Int("workers", 0, "worker-pool size for per-net experiment loops (0 = GOMAXPROCS; results are identical at any worker count)")
 	flag.Parse()
 
 	if *table != "" {
@@ -50,6 +51,7 @@ func main() {
 	if *seed != 0 {
 		cfg.Suite.Seed = *seed
 	}
+	cfg.Workers = *workers
 
 	if err := run(cfg, strings.ToLower(*which)); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -135,7 +137,7 @@ func run(cfg exp.Config, which string) error {
 	}
 	if needLarge {
 		nets := exp.LargeSuiteNets(cfg, suite)
-		res, err := exp.RunLarge("Figure 7(b) — large-degree suite nets", nets, true)
+		res, err := exp.RunLarge(cfg, "Figure 7(b) — large-degree suite nets", nets, true)
 		if err != nil {
 			return err
 		}
@@ -143,7 +145,7 @@ func run(cfg exp.Config, which string) error {
 	}
 	if want("fig7c") {
 		nets := exp.Degree100Nets(cfg)
-		res, err := exp.RunLarge("Figure 7(c) — random degree-100 nets", nets, true)
+		res, err := exp.RunLarge(cfg, "Figure 7(c) — random degree-100 nets", nets, true)
 		if err != nil {
 			return err
 		}

@@ -4,9 +4,13 @@
 // Usage:
 //
 //	patlabor -nets nets.txt [-method patlabor|salt|ysd|pd|ks]
-//	         [-lambda 9] [-table tables.gob] [-v]
+//	         [-lambda 9] [-table tables.gob] [-workers N] [-stats] [-v]
 //
-// With -v each solution also prints its tree edges.
+// The patlabor method routes the whole file as one batch on a worker pool
+// (-workers, default GOMAXPROCS; output order and content are identical at
+// any worker count). -stats prints the engine's counters — nets routed,
+// lookup-table hit rate, per-degree latency — to stderr. With -v each
+// solution also prints its tree edges.
 package main
 
 import (
@@ -23,7 +27,8 @@ func main() {
 	lambda := flag.Int("lambda", 0, "small-net threshold λ (default 9)")
 	table := flag.String("table", "", "pre-generated lookup table file (from lutgen)")
 	verbose := flag.Bool("v", false, "print tree edges")
-	workers := flag.Int("j", 1, "route nets concurrently with this many workers (patlabor method only)")
+	workers := flag.Int("workers", 0, "worker-pool size for batch routing (0 = GOMAXPROCS; patlabor method only)")
+	stats := flag.Bool("stats", false, "print batch-engine statistics to stderr (patlabor method only)")
 	flag.Parse()
 
 	if *netsPath == "" {
@@ -34,22 +39,29 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if *workers > 1 && *method == "patlabor" {
+	if *method == "patlabor" {
 		batch := make([]patlabor.Net, len(nets))
 		for i, nn := range nets {
 			batch[i] = nn.Net
 		}
-		results, err := patlabor.RouteAll(batch, patlabor.Options{Lambda: *lambda, TablePath: *table}, *workers)
+		eng, err := patlabor.NewEngine(patlabor.Options{Lambda: *lambda, TablePath: *table}, *workers)
+		if err != nil {
+			fatal(err)
+		}
+		results, err := eng.RouteAll(batch)
 		if err != nil {
 			fatal(err)
 		}
 		for i, nn := range nets {
 			printNet(nn.Name, nn.Net, results[i], *verbose)
 		}
+		if *stats {
+			fmt.Fprintf(os.Stderr, "batch engine (%d workers):\n%s", eng.Workers(), eng.Stats())
+		}
 		return
 	}
 	for _, nn := range nets {
-		cands, err := route(*method, nn.Net, *lambda, *table)
+		cands, err := route(*method, nn.Net)
 		if err != nil {
 			fatal(fmt.Errorf("net %s: %w", nn.Name, err))
 		}
@@ -71,10 +83,8 @@ func printNet(name string, net patlabor.Net, cands []patlabor.Candidate, verbose
 	}
 }
 
-func route(method string, net patlabor.Net, lambda int, table string) ([]patlabor.Candidate, error) {
+func route(method string, net patlabor.Net) ([]patlabor.Candidate, error) {
 	switch method {
-	case "patlabor":
-		return patlabor.Route(net, patlabor.Options{Lambda: lambda, TablePath: table})
 	case "salt":
 		return patlabor.SALTSweep(net, nil), nil
 	case "ysd":

@@ -78,8 +78,10 @@ func Read(r io.Reader) ([]NamedNet, error) {
 			if len(fields) != 3 {
 				return nil, fmt.Errorf("bookshelf: line %d: want \"Net <name> <degree>\"", line)
 			}
+			// A routable net needs a source and at least one sink
+			// (tree.Net invariant: >= 2 pins, source first).
 			deg, err := strconv.Atoi(fields[2])
-			if err != nil || deg < 1 {
+			if err != nil || deg < 2 {
 				return nil, fmt.Errorf("bookshelf: line %d: bad degree %q", line, fields[2])
 			}
 			cur = &builder{name: fields[1], degree: deg, line: line}

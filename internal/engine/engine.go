@@ -1,0 +1,239 @@
+// Package engine is the batch-routing engine: it fans a slice of nets out
+// across a pool of workers, routes every net with the PatLabor core
+// (internal/core), and returns the per-net Pareto sets in input order
+// regardless of completion order. Routing is embarrassingly parallel
+// across nets — each net's construction touches no mutable shared state —
+// so the only cross-goroutine structures are the read-only lookup table
+// (internal/lut, immutable after its sync.Once build, RWMutex-guarded for
+// file merges) and the engine's own statistics collector.
+//
+// Determinism contract: for every net, the engine returns exactly the
+// frontier serial core.Route would return, byte for byte, at any worker
+// count. The differential test in engine_test.go enforces this.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"patlabor/internal/core"
+	"patlabor/internal/lut"
+	"patlabor/internal/pareto"
+	"patlabor/internal/policy"
+	"patlabor/internal/tree"
+)
+
+// Result is one net's routed Pareto set: objective vectors paired with
+// trees, in canonical frontier order.
+type Result = []pareto.Item[*tree.Tree]
+
+// Options configures an Engine. The zero value routes with the paper's
+// defaults on GOMAXPROCS workers.
+type Options struct {
+	// Workers is the worker-pool size; <=0 uses runtime.GOMAXPROCS(0).
+	Workers int
+	// Lambda is the small-net threshold λ (0 = core.DefaultLambda).
+	Lambda int
+	// Iterations overrides the local-search iteration count (0 = ⌊n/λ⌋).
+	Iterations int
+	// Table answers small-net queries; nil uses the shared lut.Default().
+	Table *lut.Table
+	// TablePath optionally loads a lookup-table file produced by
+	// cmd/lutgen into a private table (built-in eager degrees are merged
+	// underneath). Ignored when Table is set.
+	TablePath string
+	// Params overrides the trained pin-selection policy weights.
+	Params *policy.Params
+}
+
+// Engine routes batches of nets concurrently. It is safe for concurrent
+// use; statistics accumulate across RouteAll calls until Reset.
+type Engine struct {
+	copts   core.Options
+	workers int
+	table   *lut.Table
+	// baseHits/baseMisses subtract table traffic that predates this
+	// engine (the lut counters are per-table, and the default table is
+	// shared process-wide).
+	baseHits, baseMisses int64
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// New builds an engine, loading the lookup-table file (if any) exactly
+// once up front so workers never race on table construction.
+func New(opts Options) (*Engine, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	table := opts.Table
+	if table == nil && opts.TablePath != "" {
+		table = lut.New()
+		if err := table.LoadFile(opts.TablePath); err != nil {
+			return nil, fmt.Errorf("engine: loading table: %w", err)
+		}
+		for d := 2; d <= lut.DefaultEagerDegree; d++ {
+			if !table.Covers(d) {
+				if err := table.Generate(d, 0); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	counting := table
+	if counting == nil {
+		counting = lut.Default()
+	}
+	hits, misses := counting.Counters()
+	return &Engine{
+		copts: core.Options{
+			Lambda:     opts.Lambda,
+			Iterations: opts.Iterations,
+			Table:      table,
+			Params:     opts.Params,
+		},
+		workers:    workers,
+		table:      counting,
+		baseHits:   hits,
+		baseMisses: misses,
+	}, nil
+}
+
+// Workers returns the resolved worker-pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// RouteAll routes every net and returns the results positionally aligned
+// with nets. The lowest-index failure is returned; later nets may be left
+// unrouted once a failure occurs.
+func (e *Engine) RouteAll(nets []tree.Net) ([]Result, error) {
+	out := make([]Result, len(nets))
+	local := make([]collector, e.workers)
+	start := time.Now()
+	err := forEach(len(nets), e.workers, func(worker, i int) error {
+		t0 := time.Now()
+		cands, err := core.Route(nets[i], e.copts)
+		if err != nil {
+			local[worker].errs++
+			return fmt.Errorf("engine: net %d: %w", i, err)
+		}
+		local[worker].record(nets[i].Degree(), time.Since(t0))
+		out[i] = cands
+		return nil
+	})
+	elapsed := time.Since(start)
+
+	e.mu.Lock()
+	for w := range local {
+		e.stats.merge(&local[w])
+	}
+	e.stats.Batches++
+	e.stats.Elapsed += elapsed
+	e.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Stats returns a snapshot of the engine's cumulative counters.
+func (e *Engine) Stats() Stats {
+	hits, misses := e.table.Counters()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := e.stats.clone()
+	s.CacheHits = hits - e.baseHits
+	s.CacheMisses = misses - e.baseMisses
+	return s
+}
+
+// Reset zeroes the engine's counters (cache counters rebase to the
+// table's current values).
+func (e *Engine) Reset() {
+	hits, misses := e.table.Counters()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stats = Stats{}
+	e.baseHits, e.baseMisses = hits, misses
+}
+
+// RouteAll is the one-shot convenience: build an engine and route the
+// batch.
+func RouteAll(nets []tree.Net, opts Options) ([]Result, error) {
+	e, err := New(opts)
+	if err != nil {
+		return nil, err
+	}
+	return e.RouteAll(nets)
+}
+
+// ForEach runs fn(i) for every i in [0,n) on a pool of `workers`
+// goroutines (<=0 means GOMAXPROCS). Indices are dispatched in order; on
+// failure the pool drains in-flight work, stops dispatching, and returns
+// the error of the lowest failed index — so the reported error is
+// deterministic even though scheduling is not. It is the parallel-for the
+// experiment harness uses to keep aggregation order-independent: workers
+// write only to their own index's slot, aggregation happens serially
+// afterwards.
+func ForEach(n, workers int, fn func(i int) error) error {
+	return forEach(n, workers, func(_, i int) error { return fn(i) })
+}
+
+func forEach(n, workers int, fn func(worker, i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(0, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	jobs := make(chan int)
+	errs := make([]error, n)
+	var failed sync.Once
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for i := range jobs {
+				if err := fn(worker, i); err != nil {
+					errs[i] = err
+					failed.Do(func() { close(stop) })
+				}
+			}
+		}(w)
+	}
+	// Dispatch in index order: when a failure closes stop, every index
+	// below the failed one has already been handed out, so after wg.Wait
+	// the lowest non-nil error is stable across runs.
+dispatch:
+	for i := 0; i < n; i++ {
+		select {
+		case jobs <- i:
+		case <-stop:
+			break dispatch
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,272 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"patlabor/internal/core"
+	"patlabor/internal/netgen"
+	"patlabor/internal/pareto"
+	"patlabor/internal/tree"
+)
+
+// TestRouteAllDifferential is the determinism contract: a Workers: 8
+// batch returns byte-identical frontiers to routing each net serially
+// with core.Frontier, on 220 random small nets of degree 2..7.
+func TestRouteAllDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1729))
+	const count = 220
+	nets := make([]tree.Net, count)
+	for i := range nets {
+		deg := 2 + rng.Intn(6) // 2..7
+		nets[i] = netgen.Uniform(rng, deg, 4000)
+	}
+
+	serial := make([][]pareto.Sol, count)
+	for i, net := range nets {
+		sols, err := core.Frontier(net, core.Options{})
+		if err != nil {
+			t.Fatalf("serial net %d: %v", i, err)
+		}
+		serial[i] = sols
+	}
+
+	results, err := RouteAll(nets, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != count {
+		t.Fatalf("got %d results for %d nets", len(results), count)
+	}
+	for i, cands := range results {
+		got := make([]pareto.Sol, len(cands))
+		for k, c := range cands {
+			got[k] = c.Sol
+			if err := c.Val.Validate(nets[i]); err != nil {
+				t.Fatalf("net %d candidate %d: %v", i, k, err)
+			}
+		}
+		want := serial[i]
+		if !bytes.Equal([]byte(fmt.Sprint(got)), []byte(fmt.Sprint(want))) {
+			t.Fatalf("net %d (degree %d): concurrent frontier %v != serial %v",
+				i, nets[i].Degree(), got, want)
+		}
+	}
+}
+
+// TestRouteAllWorkerCounts re-routes one batch at several worker counts
+// and demands identical output each time.
+func TestRouteAllWorkerCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	nets := make([]tree.Net, 40)
+	for i := range nets {
+		nets[i] = netgen.Clustered(rng, 4+rng.Intn(5), 10000, 900)
+	}
+	var ref []Result
+	for _, w := range []int{1, 2, 8, runtime.GOMAXPROCS(0)} {
+		res, err := RouteAll(nets, Options{Workers: w})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		for i := range res {
+			if fmt.Sprint(solsOf(res[i])) != fmt.Sprint(solsOf(ref[i])) {
+				t.Fatalf("workers=%d: net %d differs", w, i)
+			}
+		}
+	}
+}
+
+func solsOf(r Result) []pareto.Sol {
+	out := make([]pareto.Sol, len(r))
+	for i, c := range r {
+		out[i] = c.Sol
+	}
+	return out
+}
+
+// TestRouteAllLargeNets exercises the local-search path (degree > λ)
+// concurrently; -race validates there is no hidden shared state.
+func TestRouteAllLargeNets(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	nets := make([]tree.Net, 6)
+	for i := range nets {
+		nets[i] = netgen.Uniform(rng, 12+rng.Intn(8), 20000)
+	}
+	e, err := New(Options{Workers: 4, Lambda: 7, Iterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.RouteAll(nets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cands := range res {
+		if len(cands) == 0 {
+			t.Fatalf("net %d: empty frontier", i)
+		}
+		serial, err := core.Route(nets[i], core.Options{Lambda: 7, Iterations: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(solsOf(cands)) != fmt.Sprint(solsOf(serial)) {
+			t.Fatalf("net %d: concurrent local search differs from serial", i)
+		}
+	}
+}
+
+// TestRouteAllError checks the lowest failed index wins deterministically.
+func TestRouteAllError(t *testing.T) {
+	good := netgen.Uniform(rand.New(rand.NewSource(1)), 4, 100)
+	nets := []tree.Net{good, {}, good, {}}
+	_, err := RouteAll(nets, Options{Workers: 4})
+	if err == nil {
+		t.Fatal("empty net accepted")
+	}
+	if !strings.Contains(err.Error(), "net 1") {
+		t.Fatalf("error %q does not name the lowest failed net", err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	nets := make([]tree.Net, 30)
+	for i := range nets {
+		nets[i] = netgen.Uniform(rng, 5, 3000)
+	}
+	e, err := New(Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RouteAll(nets); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Stats()
+	if s.NetsRouted != 30 || s.Batches != 1 || s.Errors != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.CacheHits+s.CacheMisses != 30 {
+		t.Fatalf("cache traffic %d+%d, want 30 consults", s.CacheHits, s.CacheMisses)
+	}
+	if len(s.Degrees) != 1 || s.Degrees[0].Degree != 5 || s.Degrees[0].Nets != 30 {
+		t.Fatalf("degree histogram = %+v", s.Degrees)
+	}
+	var bucketed int64
+	for _, b := range s.Degrees[0].Buckets {
+		bucketed += b
+	}
+	if bucketed != 30 {
+		t.Fatalf("histogram holds %d nets, want 30", bucketed)
+	}
+	if s.Busy <= 0 || s.Elapsed <= 0 {
+		t.Fatalf("timers not recorded: %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty Stats string")
+	}
+	e.Reset()
+	s = e.Stats()
+	if s.NetsRouted != 0 || s.CacheHits != 0 || s.CacheMisses != 0 {
+		t.Fatalf("Reset left counters: %+v", s)
+	}
+}
+
+// TestStatsConcurrent hammers Stats() while a batch is in flight (the
+// snapshot must be race-free under -race).
+func TestStatsConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	nets := make([]tree.Net, 60)
+	for i := range nets {
+		nets[i] = netgen.Uniform(rng, 4+rng.Intn(3), 2000)
+	}
+	e, err := New(Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				_ = e.Stats()
+			}
+		}
+	}()
+	for r := 0; r < 3; r++ {
+		if _, err := e.RouteAll(nets); err != nil {
+			t.Error(err)
+		}
+	}
+	close(done)
+	wg.Wait()
+	if got := e.Stats().NetsRouted; got != 180 {
+		t.Fatalf("routed %d, want 180", got)
+	}
+}
+
+func TestForEachDeterministicError(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		err := ForEach(100, 8, func(i int) error {
+			if i%30 == 17 { // fails at 17, 47, 77
+				return fmt.Errorf("fail %d", i)
+			}
+			time.Sleep(time.Microsecond)
+			return nil
+		})
+		if err == nil || err.Error() != "fail 17" {
+			t.Fatalf("trial %d: err = %v, want fail 17", trial, err)
+		}
+	}
+}
+
+func TestForEachCoversAll(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		hit := make([]int64, 257)
+		err := ForEach(len(hit), workers, func(i int) error {
+			hit[i]++
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, h := range hit {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{500 * time.Nanosecond, 0},
+		{time.Microsecond, 0},
+		{2 * time.Microsecond, 1},
+		{3 * time.Microsecond, 1},
+		{1024 * time.Microsecond, 10},
+		{time.Hour, LatencyBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.d); got != c.want {
+			t.Errorf("bucketOf(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package engine
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"time"
+)
+
+// LatencyBuckets is the number of power-of-two latency histogram buckets:
+// bucket k counts nets whose routing took [2^k, 2^(k+1)) microseconds
+// (bucket 0 also absorbs sub-microsecond routes, the last bucket absorbs
+// everything slower).
+const LatencyBuckets = 24
+
+// DegreeLatency is the per-degree routing-latency histogram of one
+// engine.
+type DegreeLatency struct {
+	Degree  int
+	Nets    int64
+	Total   time.Duration
+	Max     time.Duration
+	Buckets [LatencyBuckets]int64
+}
+
+// Mean returns the mean per-net routing time at this degree.
+func (d DegreeLatency) Mean() time.Duration {
+	if d.Nets == 0 {
+		return 0
+	}
+	return d.Total / time.Duration(d.Nets)
+}
+
+// bucketOf maps a duration to its histogram bucket.
+func bucketOf(d time.Duration) int {
+	us := d.Microseconds()
+	if us <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(us)) - 1
+	if b >= LatencyBuckets {
+		b = LatencyBuckets - 1
+	}
+	return b
+}
+
+// Stats is a snapshot of an engine's cumulative counters.
+type Stats struct {
+	NetsRouted  int64
+	Errors      int64
+	Batches     int64
+	Elapsed     time.Duration // wall clock summed over RouteAll calls
+	Busy        time.Duration // per-net routing time summed over workers
+	CacheHits   int64         // lookup-table pattern hits
+	CacheMisses int64         // lookup-table fallbacks to the exact DP
+	Degrees     []DegreeLatency
+}
+
+// collector is one worker's private accumulator; workers never share one,
+// so recording needs no synchronisation.
+type collector struct {
+	nets    int64
+	errs    int64
+	busy    time.Duration
+	degrees map[int]*DegreeLatency
+}
+
+func (c *collector) record(degree int, d time.Duration) {
+	c.nets++
+	c.busy += d
+	if c.degrees == nil {
+		c.degrees = map[int]*DegreeLatency{}
+	}
+	dl := c.degrees[degree]
+	if dl == nil {
+		dl = &DegreeLatency{Degree: degree}
+		c.degrees[degree] = dl
+	}
+	dl.Nets++
+	dl.Total += d
+	if d > dl.Max {
+		dl.Max = d
+	}
+	dl.Buckets[bucketOf(d)]++
+}
+
+// merge folds one worker's collector into the stats (caller holds the
+// engine lock).
+func (s *Stats) merge(c *collector) {
+	s.NetsRouted += c.nets
+	s.Errors += c.errs
+	s.Busy += c.busy
+	for deg, dl := range c.degrees {
+		i := sort.Search(len(s.Degrees), func(i int) bool { return s.Degrees[i].Degree >= deg })
+		if i == len(s.Degrees) || s.Degrees[i].Degree != deg {
+			s.Degrees = append(s.Degrees, DegreeLatency{})
+			copy(s.Degrees[i+1:], s.Degrees[i:])
+			s.Degrees[i] = DegreeLatency{Degree: deg}
+		}
+		dst := &s.Degrees[i]
+		dst.Nets += dl.Nets
+		dst.Total += dl.Total
+		if dl.Max > dst.Max {
+			dst.Max = dl.Max
+		}
+		for b := range dl.Buckets {
+			dst.Buckets[b] += dl.Buckets[b]
+		}
+	}
+}
+
+func (s Stats) clone() Stats {
+	c := s
+	c.Degrees = append([]DegreeLatency(nil), s.Degrees...)
+	return c
+}
+
+// Speedup is the ratio of summed per-net routing time to wall-clock time:
+// the effective parallelism the batch achieved. Per-net times are wall
+// clock as seen by each worker, so when the pool is oversubscribed
+// (workers > GOMAXPROCS) they include scheduler wait and the ratio
+// overstates true CPU parallelism.
+func (s Stats) Speedup() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Busy) / float64(s.Elapsed)
+}
+
+// String renders a compact multi-line summary.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "nets routed   %d (%d errors, %d batches)\n", s.NetsRouted, s.Errors, s.Batches)
+	fmt.Fprintf(&b, "wall / busy   %s / %s (%.2fx effective parallelism)\n",
+		s.Elapsed.Round(time.Microsecond), s.Busy.Round(time.Microsecond), s.Speedup())
+	total := s.CacheHits + s.CacheMisses
+	if total > 0 {
+		fmt.Fprintf(&b, "LUT cache     %d hits / %d misses (%.1f%% hit rate)\n",
+			s.CacheHits, s.CacheMisses, 100*float64(s.CacheHits)/float64(total))
+	}
+	for _, d := range s.Degrees {
+		fmt.Fprintf(&b, "degree %-4d   %6d nets  mean %-10s max %s\n",
+			d.Degree, d.Nets, d.Mean().Round(time.Microsecond), d.Max.Round(time.Microsecond))
+	}
+	return b.String()
+}

@@ -25,6 +25,11 @@ import (
 type Config struct {
 	Suite netgen.SuiteConfig
 	Quick bool
+	// Workers sizes the worker pool the per-net experiment loops fan out
+	// on (0 = GOMAXPROCS). Results are independent of the worker count:
+	// nets are evaluated into per-index slots and aggregated serially in
+	// input order.
+	Workers int
 }
 
 // DefaultConfig returns the full-scale configuration.

@@ -60,7 +60,7 @@ func TestRunLargeQuick(t *testing.T) {
 	if len(nets) == 0 {
 		t.Skip("no large nets in quick suite sample")
 	}
-	res, err := RunLarge("Figure 7(b)", nets, false)
+	res, err := RunLarge(cfg, "Figure 7(b)", nets, false)
 	if err != nil {
 		t.Fatal(err)
 	}

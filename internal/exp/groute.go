@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
-	"patlabor/internal/core"
+	"patlabor/internal/engine"
 	"patlabor/internal/groute"
 	"patlabor/internal/netgen"
 	"patlabor/internal/textplot"
@@ -31,24 +31,38 @@ func RunGRoute(cfg Config) (*GRouteResult, error) {
 		count = 20
 	}
 	const die = 1600
+	eng, err := engine.New(engine.Options{Workers: cfg.Workers})
+	if err != nil {
+		return nil, err
+	}
+	// Nets are synthesised serially (the rng sequence is the experiment's
+	// identity) and routed in batches on the engine's worker pool; nets
+	// whose frontier is a single point are rejected and replaced, exactly
+	// as the serial loop did.
 	var nets []groute.NetCandidates
 	for len(nets) < count {
-		net := netgen.ClusteredDriver(rng, 5+rng.Intn(4), die, 500)
-		// Reposition the driver into the east band to create the shared
-		// corridor.
-		net.Pins[0].X = 1200 + rng.Int63n(300)
-		cands, err := core.Route(net, core.Options{})
+		batch := make([]tree.Net, count-len(nets))
+		for i := range batch {
+			net := netgen.ClusteredDriver(rng, 5+rng.Intn(4), die, 500)
+			// Reposition the driver into the east band to create the
+			// shared corridor.
+			net.Pins[0].X = 1200 + rng.Int63n(300)
+			batch[i] = net
+		}
+		results, err := eng.RouteAll(batch)
 		if err != nil {
 			return nil, err
 		}
-		if len(cands) < 2 {
-			continue
+		for _, cands := range results {
+			if len(cands) < 2 {
+				continue
+			}
+			// Timing budget at 60% of the wire-optimal tree's slack.
+			minD := cands[len(cands)-1].Sol.D
+			maxD := cands[0].Sol.D
+			budget := minD + (maxD-minD)*3/5
+			nets = append(nets, groute.NetCandidates{Cands: cands, Budget: budget})
 		}
-		// Timing budget at 60% of the wire-optimal tree's slack.
-		minD := cands[len(cands)-1].Sol.D
-		maxD := cands[0].Sol.D
-		budget := minD + (maxD-minD)*3/5
-		nets = append(nets, groute.NetCandidates{Cands: cands, Budget: budget})
 	}
 
 	res := &GRouteResult{Nets: len(nets)}

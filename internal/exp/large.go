@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"patlabor/internal/engine"
 	"patlabor/internal/netgen"
 	"patlabor/internal/pareto"
 	"patlabor/internal/rsma"
@@ -23,10 +24,11 @@ type LargeResult struct {
 	Hypervolume map[string]float64 // mean normalised hypervolume, ref (1.6, 1.6)
 }
 
-// RunLarge compares all methods on the given nets. Wirelength is
-// normalised by the RSMT engine's tree (FLUTE's role) and delay by the
-// shortest-path arborescence delay (CL's role), exactly as in Figure 7.
-func RunLarge(title string, nets []tree.Net, allMethods bool) (*LargeResult, error) {
+// RunLarge compares all methods on the given nets, fanning nets out on
+// cfg.Workers workers. Wirelength is normalised by the RSMT engine's tree
+// (FLUTE's role) and delay by the shortest-path arborescence delay (CL's
+// role), exactly as in Figure 7.
+func RunLarge(cfg Config, title string, nets []tree.Net, allMethods bool) (*LargeResult, error) {
 	methods := Methods(allMethods)
 	res := &LargeResult{
 		Title:       title,
@@ -40,31 +42,59 @@ func RunLarge(title string, nets []tree.Net, allMethods bool) (*LargeResult, err
 		res.Curves[m.Name] = newCurve()
 	}
 	ref := pareto.Sol{W: 160, D: 160} // on the ×100 normalised scale below
-	for _, net := range nets {
-		wN := rsmt.Wirelength(net)
-		dN := rsma.MinDelay(net)
-		if wN <= 0 || dN <= 0 {
+	// Per-net evaluation runs on the worker pool; each net fills its own
+	// slot and the curves/hypervolume accumulate serially afterwards, so
+	// the rendered figure is identical at any worker count.
+	type netEval struct {
+		wN, dN int64
+		sols   map[string][]pareto.Sol
+		dur    map[string]time.Duration
+	}
+	evals := make([]netEval, len(nets))
+	err := engine.ForEach(len(nets), cfg.Workers, func(i int) error {
+		net := nets[i]
+		ev := netEval{
+			wN:   rsmt.Wirelength(net),
+			dN:   rsma.MinDelay(net),
+			sols: map[string][]pareto.Sol{},
+			dur:  map[string]time.Duration{},
+		}
+		if ev.wN > 0 && ev.dN > 0 {
+			for _, m := range methods {
+				var sols []pareto.Sol
+				var acc time.Duration
+				err := timed(&acc, func() error {
+					var err error
+					sols, err = m.Run(net)
+					return err
+				})
+				if err != nil {
+					return fmt.Errorf("exp: %s on degree-%d net: %w", m.Name, net.Degree(), err)
+				}
+				ev.sols[m.Name] = sols
+				ev.dur[m.Name] = acc
+			}
+		}
+		evals[i] = ev
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, ev := range evals {
+		if ev.wN <= 0 || ev.dN <= 0 {
 			continue
 		}
 		for _, m := range methods {
-			var sols []pareto.Sol
-			acc := res.Runtime[m.Name]
-			err := timed(&acc, func() error {
-				var err error
-				sols, err = m.Run(net)
-				return err
-			})
-			res.Runtime[m.Name] = acc
-			if err != nil {
-				return nil, fmt.Errorf("exp: %s on degree-%d net: %w", m.Name, net.Degree(), err)
-			}
-			res.Curves[m.Name].add(sols, wN, dN)
+			res.Runtime[m.Name] += ev.dur[m.Name]
+			sols := ev.sols[m.Name]
+			res.Curves[m.Name].add(sols, ev.wN, ev.dN)
 			// Normalised hypervolume on a ×100 integer scale.
 			norm := make([]pareto.Sol, 0, len(sols))
 			for _, s := range sols {
 				norm = append(norm, pareto.Sol{
-					W: s.W * 100 / wN,
-					D: s.D * 100 / dN,
+					W: s.W * 100 / ev.wN,
+					D: s.D * 100 / ev.dN,
 				})
 			}
 			res.Hypervolume[m.Name] += pareto.Hypervolume(norm, ref)

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"patlabor/internal/dw"
+	"patlabor/internal/engine"
 	"patlabor/internal/netgen"
 	"patlabor/internal/pareto"
 	"patlabor/internal/stats"
@@ -106,36 +107,58 @@ func RunSmall(cfg Config, designs []netgen.Design) (*SmallResult, error) {
 	if cfg.Quick && len(nets) > 150 {
 		nets = nets[:150]
 	}
+	// Evaluate nets on the worker pool — each net's truth frontier and
+	// per-method runs land in its own slot — then aggregate serially in
+	// input order, so every table is identical at any worker count.
 	type netEval struct {
 		truth []pareto.Sol
 		sols  map[string][]pareto.Sol
+		dur   map[string]time.Duration
 	}
-	for _, net := range nets {
-		agg := aggBy[net.Degree()]
-		agg.Nets++
+	evals := make([]netEval, len(nets))
+	err := engine.ForEach(len(nets), cfg.Workers, func(i int) error {
+		net := nets[i]
 		truth, err := dw.FrontierSols(net, dw.DefaultOptions())
 		if err != nil {
-			return nil, fmt.Errorf("exp: truth for degree-%d net: %w", net.Degree(), err)
+			return fmt.Errorf("exp: truth for degree-%d net: %w", net.Degree(), err)
 		}
-		if len(truth) > agg.MaxFrontier {
-			agg.MaxFrontier = len(truth)
+		ev := netEval{
+			truth: truth,
+			sols:  map[string][]pareto.Sol{},
+			dur:   map[string]time.Duration{},
 		}
-		agg.FrontierSols += len(truth)
-		ev := netEval{truth: truth, sols: map[string][]pareto.Sol{}}
 		for _, m := range methods {
 			var sols []pareto.Sol
-			acc := res.Runtime[m.Name]
+			var acc time.Duration
 			err := timed(&acc, func() error {
 				var err error
 				sols, err = m.Run(net)
 				return err
 			})
-			res.Runtime[m.Name] = acc
 			if err != nil {
-				return nil, fmt.Errorf("exp: %s on degree-%d net: %w", m.Name, net.Degree(), err)
+				return fmt.Errorf("exp: %s on degree-%d net: %w", m.Name, net.Degree(), err)
 			}
 			ev.sols[m.Name] = sols
-			found := pareto.CountCovered(sols, truth)
+			ev.dur[m.Name] = acc
+		}
+		evals[i] = ev
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, net := range nets {
+		ev := evals[i]
+		truth := ev.truth
+		agg := aggBy[net.Degree()]
+		agg.Nets++
+		if len(truth) > agg.MaxFrontier {
+			agg.MaxFrontier = len(truth)
+		}
+		agg.FrontierSols += len(truth)
+		for _, m := range methods {
+			res.Runtime[m.Name] += ev.dur[m.Name]
+			found := pareto.CountCovered(ev.sols[m.Name], truth)
 			agg.Found[m.Name] += found
 			if found < len(truth) {
 				agg.NonOptimal[m.Name]++

@@ -18,6 +18,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"patlabor/internal/hanan"
@@ -27,12 +28,18 @@ import (
 )
 
 // Table maps canonical pattern keys to their potentially Pareto-optimal
-// topologies. A Table may cover several degrees.
+// topologies. A Table may cover several degrees. All methods are safe for
+// concurrent use: lookups take the read lock, merges (Generate/Load) take
+// the write lock, and the hit/miss counters are atomics so the hot Query
+// path never serialises on them.
 type Table struct {
 	mu      sync.RWMutex
 	entries map[string][]param.Topology
 	degrees map[int]bool
 	stats   map[int]DegreeStats
+
+	hits   atomic.Int64
+	misses atomic.Int64
 }
 
 // DegreeStats records the generation statistics reported in Table II of
@@ -179,8 +186,10 @@ func (t *Table) Query(net tree.Net) ([]pareto.Item[*tree.Tree], bool, error) {
 	topos, ok := t.entries[canon.Key()]
 	t.mu.RUnlock()
 	if !ok {
+		t.misses.Add(1)
 		return nil, false, nil
 	}
+	t.hits.Add(1)
 	items := make([]pareto.Item[*tree.Tree], 0, len(topos))
 	for _, topo := range topos {
 		tr, err := topo.Instantiate(r, tf)
@@ -191,6 +200,14 @@ func (t *Table) Query(net tree.Net) ([]pareto.Item[*tree.Tree], bool, error) {
 		items = append(items, pareto.Item[*tree.Tree]{Sol: tr.Sol(), Val: tr})
 	}
 	return pareto.FilterItems(items), true, nil
+}
+
+// Counters returns the cumulative Query cache statistics: hits (pattern
+// found, frontier answered from the table) and misses (pattern or degree
+// not covered, caller falls back to the exact DP). Nets of degree < 2
+// count as neither.
+func (t *Table) Counters() (hits, misses int64) {
+	return t.hits.Load(), t.misses.Load()
 }
 
 // diskEntry is the gob wire form of one pattern entry.

@@ -25,6 +25,7 @@ import (
 	"patlabor/internal/core"
 	"patlabor/internal/dw"
 	"patlabor/internal/elmore"
+	"patlabor/internal/engine"
 	"patlabor/internal/geom"
 	"patlabor/internal/ks"
 	"patlabor/internal/lut"
@@ -157,53 +158,37 @@ func KSFrontier(net Net) ([]Candidate, error) {
 	return ks.Frontier(net, ks.Options{})
 }
 
-// RouteAll routes many nets concurrently with the given number of workers
-// (<=0 uses one per net, capped at 16). Results are positionally aligned
-// with nets; the first error aborts the batch.
+// RouteAll routes many nets concurrently on a worker pool (workers <= 0
+// uses GOMAXPROCS) via the batch engine (internal/engine). Results are
+// positionally aligned with nets and identical to routing each net
+// serially with Route; the lowest-index failure aborts the batch. For
+// cumulative statistics (cache hit rates, per-degree latency histograms)
+// construct an Engine directly.
 func RouteAll(nets []Net, opts Options, workers int) ([][]Candidate, error) {
-	if workers <= 0 {
-		workers = len(nets)
-		if workers > 16 {
-			workers = 16
-		}
+	return engine.RouteAll(nets, engineOptions(opts, workers))
+}
+
+// Engine is the reusable batch router: it keeps the resolved options and
+// accumulates EngineStats across RouteAll calls.
+type Engine = engine.Engine
+
+// EngineStats is a snapshot of a batch engine's counters.
+type EngineStats = engine.Stats
+
+// NewEngine builds a batch engine routing on the given worker-pool size
+// (<=0 uses GOMAXPROCS).
+func NewEngine(opts Options, workers int) (*Engine, error) {
+	return engine.New(engineOptions(opts, workers))
+}
+
+func engineOptions(opts Options, workers int) engine.Options {
+	return engine.Options{
+		Workers:    workers,
+		Lambda:     opts.Lambda,
+		Iterations: opts.Iterations,
+		TablePath:  opts.TablePath,
+		Params:     opts.PolicyParams,
 	}
-	if workers < 1 {
-		workers = 1
-	}
-	copts, err := prepareOptions(opts)
-	if err != nil {
-		return nil, err
-	}
-	out := make([][]Candidate, len(nets))
-	errs := make(chan error, workers)
-	jobs := make(chan int, len(nets))
-	for i := range nets {
-		jobs <- i
-	}
-	close(jobs)
-	for w := 0; w < workers; w++ {
-		go func() {
-			for i := range jobs {
-				cands, err := core.Route(nets[i], copts)
-				if err != nil {
-					errs <- fmt.Errorf("net %d: %w", i, err)
-					return
-				}
-				out[i] = cands
-			}
-			errs <- nil
-		}()
-	}
-	var firstErr error
-	for w := 0; w < workers; w++ {
-		if err := <-errs; err != nil && firstErr == nil {
-			firstErr = err
-		}
-	}
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return out, nil
 }
 
 // ElmoreParams are the RC parameters of the Elmore delay model (see
