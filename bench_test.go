@@ -259,6 +259,35 @@ func BenchmarkLUTQueryDegree5(b *testing.B) {
 	}
 }
 
+// BenchmarkLUTQuery measures the per-net lookup-table query cost and
+// allocation count per covered degree, cycling through a pool of random
+// nets so one pattern's frontier shape does not dominate. This is the
+// per-net latency floor of the batch engine's small-net path; scripts/
+// bench.sh records it in BENCH_PR2.json and EXPERIMENTS.md tracks the
+// trajectory.
+func BenchmarkLUTQuery(b *testing.B) {
+	table := lut.Default()
+	for d := 2; d <= 5; d++ {
+		b.Run(fmt.Sprintf("degree=%d", d), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(int64(100 + d)))
+			nets := make([]tree.Net, 16)
+			for i := range nets {
+				nets[i] = netgen.Clustered(rng, d, 100000, 4000)
+				if _, ok, err := table.Query(nets[i]); err != nil || !ok {
+					b.Fatalf("net %d: ok=%v err=%v", i, ok, err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok, err := table.Query(nets[i%len(nets)]); err != nil || !ok {
+					b.Fatalf("ok=%v err=%v", ok, err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkPatLaborLargeNet(b *testing.B) {
 	net := benchNet(30, 30)
 	b.ResetTimer()

@@ -5,9 +5,11 @@
 //
 //	experiments [-exp all|fig6|table2|table3|table4|fig7a|fig7b|fig7c|thm1|thm2|ablation]
 //	            [-quick] [-designs N] [-nets N] [-seed S]
+//	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // The small-net experiments (fig6, table3, table4, fig7a) share one pass
 // over the suite and are computed together when any of them is requested.
+// -cpuprofile/-memprofile write runtime/pprof profiles of the full run.
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"patlabor/internal/exp"
 	"patlabor/internal/lut"
 	"patlabor/internal/netgen"
+	"patlabor/internal/profiling"
 )
 
 func main() {
@@ -29,7 +32,16 @@ func main() {
 	seed := flag.Int64("seed", 0, "override suite seed")
 	table := flag.String("table", "", "lookup-table file from cmd/lutgen, merged into the default table (speeds up PatLabor's small-net path)")
 	workers := flag.Int("workers", 0, "worker-pool size for per-net experiment loops (0 = GOMAXPROCS; results are identical at any worker count)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	if *table != "" {
 		if err := lut.Default().LoadFile(*table); err != nil {

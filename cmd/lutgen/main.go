@@ -4,11 +4,17 @@
 //
 // Usage:
 //
-//	lutgen -degrees 4-7 -o tables.gob [-workers N] [-sample K]
+//	lutgen -degrees 4-7 -o tables.gob [-workers N] [-sample K] [-check]
 //
 // Generating degree 7 takes minutes on one core; degrees 8-9 are feasible
 // but long (the paper reports 4.76 h on 16 cores for the full λ=9 set) —
 // use -sample to time a slice first.
+//
+// Tables are written atomically (temp file + rename) in the version-tagged
+// gob format that stores each topology's precompiled (W, D) coefficient
+// solution alongside it, so routers load without recompiling; files from
+// older lutgen builds remain loadable. -check reloads the written file and
+// verifies its coverage before reporting success.
 package main
 
 import (
@@ -26,6 +32,7 @@ func main() {
 	out := flag.String("o", "tables.gob", "output file")
 	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	sample := flag.Int("sample", 0, "generate only the first K patterns per degree (timing probe; table not marked complete)")
+	check := flag.Bool("check", false, "reload the written file and verify its degree coverage")
 	flag.Parse()
 
 	lo, hi, err := parseRange(*degrees)
@@ -56,6 +63,20 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s (%d bytes)\n", *out, info.Size())
+	if *check {
+		re := lut.New()
+		if err := re.LoadFile(*out); err != nil {
+			fatal(fmt.Errorf("check: reloading %s: %w", *out, err))
+		}
+		if *sample == 0 {
+			for d := lo; d <= hi; d++ {
+				if !re.Covers(d) {
+					fatal(fmt.Errorf("check: reloaded table does not cover degree %d", d))
+				}
+			}
+		}
+		fmt.Println("check: reload ok")
+	}
 }
 
 func parseRange(s string) (int, int, error) {

@@ -5,12 +5,15 @@
 //
 //	patlabor -nets nets.txt [-method patlabor|salt|ysd|pd|ks]
 //	         [-lambda 9] [-table tables.gob] [-workers N] [-stats] [-v]
+//	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // The patlabor method routes the whole file as one batch on a worker pool
 // (-workers, default GOMAXPROCS; output order and content are identical at
 // any worker count). -stats prints the engine's counters — nets routed,
-// lookup-table hit rate, per-degree latency — to stderr. With -v each
-// solution also prints its tree edges.
+// lookup-table hit rate and symbolic-evaluation savings, per-degree
+// latency — to stderr. With -v each solution also prints its tree edges.
+// -cpuprofile/-memprofile write runtime/pprof profiles of the routing run
+// for `go tool pprof`.
 package main
 
 import (
@@ -19,6 +22,7 @@ import (
 	"os"
 
 	"patlabor"
+	"patlabor/internal/profiling"
 )
 
 func main() {
@@ -29,12 +33,19 @@ func main() {
 	verbose := flag.Bool("v", false, "print tree edges")
 	workers := flag.Int("workers", 0, "worker-pool size for batch routing (0 = GOMAXPROCS; patlabor method only)")
 	stats := flag.Bool("stats", false, "print batch-engine statistics to stderr (patlabor method only)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	if *netsPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 	nets, err := patlabor.ReadNets(*netsPath)
 	if err != nil {
 		fatal(err)

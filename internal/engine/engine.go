@@ -54,13 +54,27 @@ type Engine struct {
 	copts   core.Options
 	workers int
 	table   *lut.Table
-	// baseHits/baseMisses subtract table traffic that predates this
-	// engine (the lut counters are per-table, and the default table is
-	// shared process-wide).
-	baseHits, baseMisses int64
+	// base subtracts table traffic that predates this engine (the lut
+	// counters are per-table, and the default table is shared
+	// process-wide).
+	base tableCounters
 
 	mu    sync.Mutex
 	stats Stats
+}
+
+// tableCounters is one snapshot of a lookup table's atomic query counters.
+type tableCounters struct {
+	hits, misses, errs      int64
+	evaluated, materialized int64
+}
+
+func snapshotTable(t *lut.Table) tableCounters {
+	var c tableCounters
+	c.hits, c.misses = t.Counters()
+	c.errs = t.QueryErrors()
+	c.evaluated, c.materialized = t.EvalCounters()
+	return c
 }
 
 // New builds an engine, loading the lookup-table file (if any) exactly
@@ -88,7 +102,6 @@ func New(opts Options) (*Engine, error) {
 	if counting == nil {
 		counting = lut.Default()
 	}
-	hits, misses := counting.Counters()
 	return &Engine{
 		copts: core.Options{
 			Lambda:     opts.Lambda,
@@ -96,10 +109,9 @@ func New(opts Options) (*Engine, error) {
 			Table:      table,
 			Params:     opts.Params,
 		},
-		workers:    workers,
-		table:      counting,
-		baseHits:   hits,
-		baseMisses: misses,
+		workers: workers,
+		table:   counting,
+		base:    snapshotTable(counting),
 	}, nil
 }
 
@@ -141,23 +153,26 @@ func (e *Engine) RouteAll(nets []tree.Net) ([]Result, error) {
 
 // Stats returns a snapshot of the engine's cumulative counters.
 func (e *Engine) Stats() Stats {
-	hits, misses := e.table.Counters()
+	cur := snapshotTable(e.table)
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	s := e.stats.clone()
-	s.CacheHits = hits - e.baseHits
-	s.CacheMisses = misses - e.baseMisses
+	s.CacheHits = cur.hits - e.base.hits
+	s.CacheMisses = cur.misses - e.base.misses
+	s.CacheErrors = cur.errs - e.base.errs
+	s.ToposEvaluated = cur.evaluated - e.base.evaluated
+	s.TreesMaterialized = cur.materialized - e.base.materialized
 	return s
 }
 
 // Reset zeroes the engine's counters (cache counters rebase to the
 // table's current values).
 func (e *Engine) Reset() {
-	hits, misses := e.table.Counters()
+	cur := snapshotTable(e.table)
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.stats = Stats{}
-	e.baseHits, e.baseMisses = hits, misses
+	e.base = cur
 }
 
 // RouteAll is the one-shot convenience: build an engine and route the

@@ -54,7 +54,13 @@ type Stats struct {
 	Busy        time.Duration // per-net routing time summed over workers
 	CacheHits   int64         // lookup-table pattern hits
 	CacheMisses int64         // lookup-table fallbacks to the exact DP
-	Degrees     []DegreeLatency
+	CacheErrors int64         // lookup-table hits that failed during instantiation
+	// ToposEvaluated / TreesMaterialized expose the symbolic fast path's
+	// savings: stored topologies whose (w, d) was evaluated by coefficient
+	// dot products versus frontier survivors actually built as trees.
+	ToposEvaluated    int64
+	TreesMaterialized int64
+	Degrees           []DegreeLatency
 }
 
 // collector is one worker's private accumulator; workers never share one,
@@ -136,8 +142,17 @@ func (s Stats) String() string {
 		s.Elapsed.Round(time.Microsecond), s.Busy.Round(time.Microsecond), s.Speedup())
 	total := s.CacheHits + s.CacheMisses
 	if total > 0 {
-		fmt.Fprintf(&b, "LUT cache     %d hits / %d misses (%.1f%% hit rate)\n",
-			s.CacheHits, s.CacheMisses, 100*float64(s.CacheHits)/float64(total))
+		fmt.Fprintf(&b, "LUT cache     %d hits / %d misses (%.1f%% hit rate", s.CacheHits, s.CacheMisses,
+			100*float64(s.CacheHits)/float64(total))
+		if s.CacheErrors > 0 {
+			fmt.Fprintf(&b, ", %d errors", s.CacheErrors)
+		}
+		fmt.Fprintf(&b, ")\n")
+	}
+	if s.ToposEvaluated > 0 {
+		fmt.Fprintf(&b, "LUT symbolic  %d topologies evaluated, %d trees materialized (%.1f%% skipped)\n",
+			s.ToposEvaluated, s.TreesMaterialized,
+			100*(1-float64(s.TreesMaterialized)/float64(s.ToposEvaluated)))
 	}
 	for _, d := range s.Degrees {
 		fmt.Fprintf(&b, "degree %-4d   %6d nets  mean %-10s max %s\n",

@@ -1,0 +1,98 @@
+package hanan
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// canonicalReference is the pre-optimization implementation of Canonical:
+// materialize all 8 transformed patterns and keep the lexicographically
+// smallest key, earliest transform winning ties.
+func canonicalReference(p Pattern) (Pattern, Transform) {
+	best := p
+	bestT := Transform{}
+	bestKey := p.Key()
+	for _, t := range AllTransforms() {
+		q := TransformPattern(p, t)
+		if k := q.Key(); k < bestKey {
+			best, bestT, bestKey = q, t, k
+		}
+	}
+	return best, bestT
+}
+
+func TestAppendCanonicalKeyMatchesReference(t *testing.T) {
+	check := func(p Pattern) {
+		t.Helper()
+		wantP, wantT := canonicalReference(p)
+		var buf [MaxKeyLen]byte
+		key, tf := AppendCanonicalKey(buf[:0], p)
+		if string(key) != wantP.Key() {
+			t.Fatalf("pattern %v: canonical key %q, want %q", p, key, wantP.Key())
+		}
+		if tf != wantT {
+			t.Fatalf("pattern %v: transform %+v, want %+v", p, tf, wantT)
+		}
+		gotP, gotT := Canonical(p)
+		if gotP.Key() != wantP.Key() || gotT != wantT {
+			t.Fatalf("pattern %v: Canonical = (%v, %+v), want (%v, %+v)", p, gotP, gotT, wantP, wantT)
+		}
+	}
+	for n := 2; n <= 5; n++ {
+		for _, p := range AllPatterns(n) {
+			check(p)
+		}
+	}
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 500; trial++ {
+		n := 6 + rng.Intn(11) // 6..16 (up to dw.MaxExactDegree)
+		perm := rng.Perm(n)
+		p := Pattern{N: n, Perm: make([]uint8, n), Src: uint8(rng.Intn(n))}
+		for i, v := range perm {
+			p.Perm[i] = uint8(v)
+		}
+		check(p)
+	}
+}
+
+func TestAppendCanonicalKeyAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	perm := rng.Perm(9)
+	p := Pattern{N: 9, Perm: make([]uint8, 9), Src: 3}
+	for i, v := range perm {
+		p.Perm[i] = uint8(v)
+	}
+	var buf [MaxKeyLen]byte
+	allocs := testing.AllocsPerRun(200, func() {
+		AppendCanonicalKey(buf[:0], p)
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendCanonicalKey allocates %.1f objects per run, want 0", allocs)
+	}
+}
+
+func TestApplyLengthsIntoMatchesApplyLengths(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var hbuf, vbuf [MaxKeyLen]int64
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(8)
+		h := make([]int64, n-1)
+		v := make([]int64, n-1)
+		for k := range h {
+			h[k] = rng.Int63n(100)
+			v[k] = rng.Int63n(100)
+		}
+		for _, tf := range AllTransforms() {
+			wantH, wantV := tf.ApplyLengths(h, v)
+			gotH, gotV := tf.ApplyLengthsInto(h, v, hbuf[:0], vbuf[:0])
+			if len(gotH) != len(wantH) || len(gotV) != len(wantV) {
+				t.Fatalf("transform %+v: length mismatch", tf)
+			}
+			for k := range wantH {
+				if gotH[k] != wantH[k] || gotV[k] != wantV[k] {
+					t.Fatalf("transform %+v: Into (%v,%v), want (%v,%v)", tf, gotH, gotV, wantH, wantV)
+				}
+			}
+		}
+	}
+}

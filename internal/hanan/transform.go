@@ -1,5 +1,7 @@
 package hanan
 
+import "bytes"
+
 // Transform is one of the 8 symmetries of the rank grid (the dihedral
 // group of the square): an optional transpose (swap of the x and y roles)
 // followed by optional flips of each axis. Two instances whose patterns
@@ -50,8 +52,15 @@ func (t Transform) Invert() Transform {
 // swaps the horizontal and vertical gaps, flips reverse them. Fresh slices
 // are returned; the inputs are not modified.
 func (t Transform) ApplyLengths(h, v []int64) (hh, vv []int64) {
-	hh = append([]int64(nil), h...)
-	vv = append([]int64(nil), v...)
+	return t.ApplyLengthsInto(h, v, nil, nil)
+}
+
+// ApplyLengthsInto is ApplyLengths appending into caller-provided buffers
+// (which may be nil or recycled slices with spare capacity), so hot query
+// paths can map gap lengths without allocating.
+func (t Transform) ApplyLengthsInto(h, v []int64, hbuf, vbuf []int64) (hh, vv []int64) {
+	hh = append(hbuf[:0], h...)
+	vv = append(vbuf[:0], v...)
 	if t.Transpose {
 		hh, vv = vv, hh
 	}
@@ -87,18 +96,103 @@ func TransformPattern(p Pattern, t Transform) Pattern {
 }
 
 // Canonical returns the lexicographically smallest pattern reachable from
-// p by a symmetry, together with the transform that maps p onto it.
+// p by a symmetry, together with the transform that maps p onto it. Ties
+// between transforms producing the same key keep the earliest transform in
+// AllTransforms order (the identity when it already yields the minimum).
 func Canonical(p Pattern) (Pattern, Transform) {
-	best := p
+	var buf [MaxKeyLen]byte
+	key, tf := AppendCanonicalKey(buf[:0], p)
+	return Pattern{N: int(key[0]), Src: key[1], Perm: append([]uint8(nil), key[2:]...)}, tf
+}
+
+// MaxKeyLen is the byte length of the largest Pattern.Key the library can
+// produce (degree dw.MaxExactDegree, plus the N and Src header bytes).
+// Fixed-size key buffers of this length make canonical-key computation
+// allocation free.
+const MaxKeyLen = 16 + 2
+
+// AppendCanonicalKey appends the canonical key of p's symmetry class —
+// Pattern.Key of the lexicographically smallest transformed pattern — to
+// dst, returning the extended buffer and the transform that maps p onto
+// the canonical pattern. It is equivalent to Canonical(p) followed by
+// Key() with the same tie-break, but generates the 8 candidate keys
+// digit-by-digit into stack scratch instead of materializing 8 patterns,
+// so it performs no allocations when dst has capacity (lut.Table.Query's
+// hot path relies on this).
+func AppendCanonicalKey(dst []byte, p Pattern) ([]byte, Transform) {
+	n := p.N
+	base := len(dst)
+	// Seed with the identity transform's key (transform index 0).
+	dst = append(dst, byte(n), byte(p.Src))
+	dst = append(dst, p.Perm...)
+	best := dst[base:]
 	bestT := Transform{}
-	bestKey := p.Key()
-	for _, t := range AllTransforms() {
-		q := TransformPattern(p, t)
-		if k := q.Key(); k < bestKey {
-			best, bestT, bestKey = q, t, k
+
+	// Inverse permutation, needed to emit transposed keys in x-rank order.
+	var ipermBuf [MaxKeyLen]uint8
+	iperm := ipermBuf[:0]
+	if n <= len(ipermBuf) {
+		iperm = ipermBuf[:n]
+	} else {
+		iperm = make([]uint8, n)
+	}
+	for i, j := range p.Perm {
+		iperm[j] = uint8(i)
+	}
+
+	var candBuf [MaxKeyLen]byte
+	cand := candBuf[:0]
+	if n+2 > len(candBuf) {
+		cand = make([]byte, 0, n+2)
+	}
+	// Transform index encodes (Transpose, FlipX, FlipY) exactly as the
+	// nesting order of AllTransforms, so the tie-break matches Canonical's.
+	for ti := 1; ti < 8; ti++ {
+		t := Transform{Transpose: ti&4 != 0, FlipX: ti&2 != 0, FlipY: ti&1 != 0}
+		cand = cand[:0]
+		cand = append(cand, byte(n), 0)
+		if !t.Transpose {
+			for ni := 0; ni < n; ni++ {
+				i := ni
+				if t.FlipX {
+					i = n - 1 - ni
+				}
+				nj := int(p.Perm[i])
+				if t.FlipY {
+					nj = n - 1 - nj
+				}
+				cand = append(cand, byte(nj))
+			}
+			src := int(p.Src)
+			if t.FlipX {
+				src = n - 1 - src
+			}
+			cand[1] = byte(src)
+		} else {
+			for ni := 0; ni < n; ni++ {
+				j := ni
+				if t.FlipX {
+					j = n - 1 - ni
+				}
+				i := int(iperm[j])
+				nj := i
+				if t.FlipY {
+					nj = n - 1 - i
+				}
+				cand = append(cand, byte(nj))
+			}
+			src := int(p.Perm[p.Src])
+			if t.FlipX {
+				src = n - 1 - src
+			}
+			cand[1] = byte(src)
+		}
+		if bytes.Compare(cand, best) < 0 {
+			copy(best, cand)
+			bestT = t
 		}
 	}
-	return best, bestT
+	return dst, bestT
 }
 
 // AllPatterns enumerates every pattern of degree n (n! permutations × n

@@ -1,13 +1,22 @@
 // Package lut implements the lookup tables of §V-A: for every canonical
 // Hanan pattern of a small degree, the table stores all potentially
 // Pareto-optimal tree topologies, produced by the symbolic Pareto-DW of
-// internal/param. Querying a net instantiates the stored topologies on the
-// net's concrete coordinates and Pareto-filters them, which yields the
-// exact Pareto frontier together with one optimal tree per frontier point.
+// internal/param, together with their precompiled (W, D) coefficient form.
+//
+// Queries are symbolic-first: the net's canonical pattern key is computed
+// allocation free, each stored topology's objective vector is evaluated by
+// dot products of its coefficient rows against the net's concrete gap
+// lengths, the resulting (w, d) points are Pareto-filtered, and only the
+// frontier survivors — typically a handful out of hundreds of stored
+// topologies — are instantiated as concrete trees. This yields the exact
+// Pareto frontier with one optimal tree per point while skipping the tree
+// construction, Compact pass, and allocations for every dominated
+// topology.
 //
 // Generation parallelises over patterns; tables serialise with
-// encoding/gob so cmd/lutgen can pre-generate higher degrees once and
-// reuse them across runs.
+// encoding/gob in a version-tagged format (older untagged files still
+// load) so cmd/lutgen can pre-generate higher degrees once and reuse them
+// across runs.
 package lut
 
 import (
@@ -15,7 +24,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -27,19 +38,32 @@ import (
 	"patlabor/internal/tree"
 )
 
+// entry is one canonical pattern's stored class: the potentially
+// Pareto-optimal topologies plus their precompiled coefficient solutions
+// (sols[i] == topos[i].Solution(n)). Both slices are immutable once the
+// entry is published in the table.
+type entry struct {
+	topos []param.Topology
+	sols  []param.Solution
+}
+
 // Table maps canonical pattern keys to their potentially Pareto-optimal
 // topologies. A Table may cover several degrees. All methods are safe for
 // concurrent use: lookups take the read lock, merges (Generate/Load) take
-// the write lock, and the hit/miss counters are atomics so the hot Query
+// the write lock, and the query counters are atomics so the hot Query
 // path never serialises on them.
 type Table struct {
 	mu      sync.RWMutex
-	entries map[string][]param.Topology
+	entries map[string]entry
 	degrees map[int]bool
 	stats   map[int]DegreeStats
 
-	hits   atomic.Int64
-	misses atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	queryErrs atomic.Int64
+
+	evaluated    atomic.Int64 // topologies evaluated symbolically
+	materialized atomic.Int64 // trees instantiated (frontier survivors)
 }
 
 // DegreeStats records the generation statistics reported in Table II of
@@ -63,7 +87,7 @@ func (s DegreeStats) AvgTopo() float64 {
 // New returns an empty table.
 func New() *Table {
 	return &Table{
-		entries: map[string][]param.Topology{},
+		entries: map[string]entry{},
 		degrees: map[int]bool{},
 		stats:   map[int]DegreeStats{},
 	}
@@ -118,9 +142,9 @@ func (t *Table) generate(degree, workers, sample int) error {
 		pats = pats[:sample]
 	}
 	type result struct {
-		key   string
-		topos []param.Topology
-		err   error
+		key string
+		ent entry
+		err error
 	}
 	jobs := make(chan hanan.Pattern)
 	results := make(chan result)
@@ -131,7 +155,11 @@ func (t *Table) generate(degree, workers, sample int) error {
 			defer wg.Done()
 			for p := range jobs {
 				topos, err := param.EnumeratePattern(p)
-				results <- result{key: p.Key(), topos: topos, err: err}
+				ent := entry{topos: topos}
+				if err == nil {
+					ent.sols = param.Solutions(topos, p.N)
+				}
+				results <- result{key: p.Key(), ent: ent, err: err}
 			}
 		}()
 	}
@@ -143,14 +171,14 @@ func (t *Table) generate(degree, workers, sample int) error {
 		wg.Wait()
 		close(results)
 	}()
-	entries := make(map[string][]param.Topology, len(pats))
+	entries := make(map[string]entry, len(pats))
 	topoCount := 0
 	for r := range results {
 		if r.err != nil {
 			return r.err
 		}
-		entries[r.key] = r.topos
-		topoCount += len(r.topos)
+		entries[r.key] = r.ent
+		topoCount += len(r.ent.topos)
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -172,69 +200,175 @@ func (t *Table) generate(degree, workers, sample int) error {
 	return nil
 }
 
+// evalItem pairs one topology's concrete objective vector with its index
+// into the entry, so frontier filtering can defer instantiation.
+type evalItem struct {
+	sol pareto.Sol
+	idx int32
+}
+
+// scratch holds the reusable per-query buffers: the canonical key, the
+// transformed gap-length vectors, and the symbolic evaluation rows.
+// Pooled so concurrent Query calls neither share nor reallocate them.
+type scratch struct {
+	key   []byte
+	h, v  []int64
+	evals []evalItem
+}
+
+var scratchPool = sync.Pool{
+	New: func() any {
+		return &scratch{
+			key: make([]byte, 0, hanan.MaxKeyLen),
+			h:   make([]int64, 0, hanan.MaxKeyLen),
+			v:   make([]int64, 0, hanan.MaxKeyLen),
+		}
+	},
+}
+
 // Query returns the exact Pareto frontier of the net with one optimal tree
 // per point, when the net's canonical pattern is present in the table.
 // The boolean is false when the pattern (or degree) is not covered.
+//
+// The fast path never materializes dominated topologies: every stored
+// solution is evaluated symbolically on the net's gap lengths, and only
+// the Pareto frontier survivors are instantiated. Ties keep the earliest
+// stored topology, matching the materialize-then-filter reference
+// (pareto.FilterItems is stable).
 func (t *Table) Query(net tree.Net) ([]pareto.Item[*tree.Tree], bool, error) {
 	n := net.Degree()
 	if n < 2 {
 		return nil, false, nil
 	}
 	r := hanan.RanksOf(net)
-	canon, tf := hanan.Canonical(r.Pattern)
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	key, tf := hanan.AppendCanonicalKey(sc.key[:0], r.Pattern)
+	sc.key = key
 	t.mu.RLock()
-	topos, ok := t.entries[canon.Key()]
+	e, ok := t.entries[string(key)]
 	t.mu.RUnlock()
 	if !ok {
 		t.misses.Add(1)
 		return nil, false, nil
 	}
-	t.hits.Add(1)
-	items := make([]pareto.Item[*tree.Tree], 0, len(topos))
-	for _, topo := range topos {
-		tr, err := topo.Instantiate(r, tf)
+	// Gap lengths of the canonical instance: the stored coefficient rows
+	// are over the canonical pattern's gaps, so map the net's gaps through
+	// the canonicalizing transform.
+	hh, vv := tf.ApplyLengthsInto(r.H, r.V, sc.h, sc.v)
+	sc.h, sc.v = hh, vv
+	evals := sc.evals[:0]
+	for i := range e.sols {
+		evals = append(evals, evalItem{sol: e.sols[i].Eval(hh, vv), idx: int32(i)})
+	}
+	sc.evals = evals
+	t.evaluated.Add(int64(len(evals)))
+	winners := filterEvals(evals)
+	items := make([]pareto.Item[*tree.Tree], len(winners))
+	for i, w := range winners {
+		tr, err := e.topos[w.idx].Instantiate(r, tf)
 		if err != nil {
-			return nil, false, fmt.Errorf("lut: instantiating pattern %v: %w", canon, err)
+			t.queryErrs.Add(1)
+			return nil, false, fmt.Errorf("lut: instantiating pattern key %q: %w", sc.key, err)
 		}
 		tr.Compact()
-		items = append(items, pareto.Item[*tree.Tree]{Sol: tr.Sol(), Val: tr})
+		items[i] = pareto.Item[*tree.Tree]{Sol: w.sol, Val: tr}
 	}
-	return pareto.FilterItems(items), true, nil
+	t.materialized.Add(int64(len(items)))
+	t.hits.Add(1)
+	return items, true, nil
+}
+
+// filterEvals Pareto-filters the evaluated points in place and returns the
+// frontier prefix in canonical order. Sorting by (W, D, idx) reproduces
+// pareto.FilterItems' stable order exactly: idx is the original append
+// order, so equal objective vectors keep the earliest stored topology.
+func filterEvals(evals []evalItem) []evalItem {
+	slices.SortFunc(evals, func(a, b evalItem) int {
+		if a.sol.W != b.sol.W {
+			if a.sol.W < b.sol.W {
+				return -1
+			}
+			return 1
+		}
+		if a.sol.D != b.sol.D {
+			if a.sol.D < b.sol.D {
+				return -1
+			}
+			return 1
+		}
+		return int(a.idx - b.idx)
+	})
+	k := 0
+	bestD := int64(1<<63 - 1)
+	for _, it := range evals {
+		if it.sol.D < bestD {
+			evals[k] = it
+			k++
+			bestD = it.sol.D
+		}
+	}
+	return evals[:k]
 }
 
 // Counters returns the cumulative Query cache statistics: hits (pattern
 // found, frontier answered from the table) and misses (pattern or degree
 // not covered, caller falls back to the exact DP). Nets of degree < 2
-// count as neither.
+// count as neither, and queries that found their pattern but failed during
+// instantiation are counted separately (QueryErrors), not as hits.
 func (t *Table) Counters() (hits, misses int64) {
 	return t.hits.Load(), t.misses.Load()
 }
+
+// QueryErrors returns how many queries found their pattern in the table
+// but failed while instantiating a frontier tree. Such queries return an
+// error to the caller and count neither as hits nor as misses.
+func (t *Table) QueryErrors() int64 {
+	return t.queryErrs.Load()
+}
+
+// EvalCounters returns the cumulative symbolic-evaluation statistics:
+// topologies whose (w, d) was evaluated by coefficient dot products, and
+// trees actually materialized for frontier survivors. Their ratio is the
+// work the symbolic fast path avoids.
+func (t *Table) EvalCounters() (evaluated, materialized int64) {
+	return t.evaluated.Load(), t.materialized.Load()
+}
+
+// diskFormatVersion tags the gob wire format. Version 2 added the
+// precompiled Sols per entry; version-0 files (written before the tag
+// existed) lack both the tag and the Sols and are recompiled on load.
+const diskFormatVersion = 2
 
 // diskEntry is the gob wire form of one pattern entry.
 type diskEntry struct {
 	Key   string
 	Topos []param.Topology
+	Sols  []param.Solution
 }
 
 // diskTable is the gob wire form of a whole table.
 type diskTable struct {
+	Version int
 	Entries []diskEntry
 	Degrees []int
 	Stats   []DegreeStats
 }
 
-// Save serialises the table.
+// Save serialises the table, including the precompiled solutions so Load
+// skips recompilation.
 func (t *Table) Save(w io.Writer) error {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	dt := diskTable{}
+	dt := diskTable{Version: diskFormatVersion}
 	keys := make([]string, 0, len(t.entries))
 	for k := range t.entries {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
 	for _, k := range keys {
-		dt.Entries = append(dt.Entries, diskEntry{Key: k, Topos: t.entries[k]})
+		e := t.entries[k]
+		dt.Entries = append(dt.Entries, diskEntry{Key: k, Topos: e.topos, Sols: e.sols})
 	}
 	for d := range t.degrees {
 		dt.Degrees = append(dt.Degrees, d)
@@ -247,16 +381,30 @@ func (t *Table) Save(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(dt)
 }
 
-// Load reads a serialised table and merges it into t.
+// Load reads a serialised table and merges it into t. Files written by
+// older versions (no format tag, no precompiled solutions) load too: their
+// coefficient solutions are recompiled from the stored topologies.
 func (t *Table) Load(r io.Reader) error {
 	var dt diskTable
 	if err := gob.NewDecoder(r).Decode(&dt); err != nil {
 		return fmt.Errorf("lut: decoding table: %w", err)
 	}
+	if dt.Version > diskFormatVersion {
+		return fmt.Errorf("lut: table format version %d is newer than supported %d", dt.Version, diskFormatVersion)
+	}
+	for i := range dt.Entries {
+		e := &dt.Entries[i]
+		if len(e.Key) < 2 {
+			return fmt.Errorf("lut: malformed entry key %q", e.Key)
+		}
+		if len(e.Sols) != len(e.Topos) {
+			e.Sols = param.Solutions(e.Topos, int(e.Key[0]))
+		}
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for _, e := range dt.Entries {
-		t.entries[e.Key] = e.Topos
+		t.entries[e.Key] = entry{topos: e.Topos, sols: e.Sols}
 	}
 	for _, d := range dt.Degrees {
 		t.degrees[d] = true
@@ -267,17 +415,37 @@ func (t *Table) Load(r io.Reader) error {
 	return nil
 }
 
-// SaveFile writes the table to path.
+// SaveFile writes the table to path atomically: the bytes go to a
+// temporary file in the target directory which is renamed into place only
+// after a successful write, so an interrupted run never leaves a
+// truncated table behind.
 func (t *Table) SaveFile(path string) error {
-	f, err := os.Create(path)
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	tmp := f.Name()
+	defer func() {
+		if f != nil {
+			f.Close()
+		}
+		if tmp != "" {
+			os.Remove(tmp)
+		}
+	}()
 	if err := t.Save(f); err != nil {
 		return err
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		return err
+	}
+	f = nil
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	tmp = ""
+	return nil
 }
 
 // LoadFile merges the table stored at path into t.

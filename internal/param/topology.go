@@ -100,6 +100,18 @@ func (t Topology) Solution(n int) Solution {
 	return sol
 }
 
+// Solutions precompiles the (W, D) coefficient form of every topology of a
+// degree-n pattern. Lookup tables store the result alongside the
+// topologies so queries can evaluate frontiers by dot products against
+// concrete gap lengths and instantiate only the Pareto survivors.
+func Solutions(topos []Topology, n int) []Solution {
+	out := make([]Solution, len(topos))
+	for i := range topos {
+		out[i] = topos[i].Solution(n)
+	}
+	return out
+}
+
 func (t Topology) topoOrder() []int {
 	ch := make([][]int, len(t.Nodes))
 	for i, p := range t.Parent {

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Runs the lookup-table query benchmark suite and records the performance
+# trajectory in BENCH_PR2.json: the frozen pre-PR-2 baseline (the
+# materialize-every-topology Query) next to the numbers measured on the
+# current tree. CI hosts vary, so compare the measured block against a
+# baseline re-measured on the same machine when absolute numbers matter;
+# the allocs/op column is machine independent.
+#
+# Usage: scripts/bench.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_PR2.json}"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+go test -run '^$' -bench 'BenchmarkLUTQuery' -benchmem . | tee "$TMP"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+    -v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" '
+  /^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns[name] = $3; bytes[name] = $5; allocs[name] = $7
+    order[n++] = name
+  }
+  END {
+    printf "{\n"
+    printf "  \"date\": \"%s\",\n", date
+    printf "  \"commit\": \"%s\",\n", commit
+    printf "  \"benchmark\": \"go test -bench BenchmarkLUTQuery -benchmem\",\n"
+    printf "  \"baseline_pre_pr2\": {\n"
+    printf "    \"note\": \"materialize-every-topology Query, measured at the PR 2 branch point (Intel Xeon @ 2.10GHz)\",\n"
+    printf "    \"BenchmarkLUTQuery/degree=2\": {\"ns_op\": 2155, \"b_op\": 856, \"allocs_op\": 61},\n"
+    printf "    \"BenchmarkLUTQuery/degree=3\": {\"ns_op\": 2689, \"b_op\": 1344, \"allocs_op\": 69},\n"
+    printf "    \"BenchmarkLUTQuery/degree=4\": {\"ns_op\": 4479, \"b_op\": 2960, \"allocs_op\": 103},\n"
+    printf "    \"BenchmarkLUTQuery/degree=5\": {\"ns_op\": 11864, \"b_op\": 8294, \"allocs_op\": 230},\n"
+    printf "    \"BenchmarkLUTQueryDegree5\": {\"ns_op\": 10566, \"b_op\": 4496, \"allocs_op\": 137}\n"
+    printf "  },\n"
+    printf "  \"measured\": {\n"
+    for (i = 0; i < n; i++) {
+      name = order[i]
+      printf "    \"%s\": {\"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}%s\n", \
+        name, ns[name], bytes[name], allocs[name], (i < n - 1 ? "," : "")
+    }
+    printf "  }\n"
+    printf "}\n"
+  }' "$TMP" > "$OUT"
+
+echo "wrote $OUT"
