@@ -6,6 +6,7 @@
 package patlabor
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -34,7 +35,7 @@ func BenchmarkFig6FrontierSize(b *testing.B) {
 	cfg, designs := benchDesigns(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := exp.RunSmall(cfg, designs)
+		res, err := exp.RunSmall(context.Background(), cfg, designs)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -63,7 +64,7 @@ func BenchmarkTable3NonOptimalRatio(b *testing.B) {
 	cfg, designs := benchDesigns(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := exp.RunSmall(cfg, designs)
+		res, err := exp.RunSmall(context.Background(), cfg, designs)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -84,7 +85,7 @@ func BenchmarkTable4SolutionCounts(b *testing.B) {
 	cfg, designs := benchDesigns(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := exp.RunSmall(cfg, designs)
+		res, err := exp.RunSmall(context.Background(), cfg, designs)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -105,7 +106,7 @@ func BenchmarkFig7aSmallNets(b *testing.B) {
 	cfg, designs := benchDesigns(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := exp.RunSmall(cfg, designs)
+		res, err := exp.RunSmall(context.Background(), cfg, designs)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -123,7 +124,7 @@ func BenchmarkFig7bLargeNets(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := exp.RunLarge(cfg, "fig7b", nets, false)
+		res, err := exp.RunLarge(context.Background(), cfg, "fig7b", nets, false)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -138,7 +139,7 @@ func BenchmarkFig7cDegree100(b *testing.B) {
 	nets := exp.Degree100Nets(cfg)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := exp.RunLarge(cfg, "fig7c", nets, false)
+		res, err := exp.RunLarge(context.Background(), cfg, "fig7c", nets, false)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -150,7 +151,7 @@ func BenchmarkFig7cDegree100(b *testing.B) {
 // verification: exponential frontier growth on the S-gadget family.
 func BenchmarkTheorem1Gadget(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := exp.RunThm1(2)
+		res, err := exp.RunThm1(context.Background(), 2)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -164,7 +165,7 @@ func BenchmarkSmoothedFrontier(b *testing.B) {
 	cfg := exp.QuickConfig()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := exp.RunThm2(cfg, 6, []float64{1, 4}, 20)
+		res, err := exp.RunThm2(context.Background(), cfg, 6, []float64{1, 4}, 20)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -178,7 +179,7 @@ func BenchmarkAblationAll(b *testing.B) {
 	cfg := exp.QuickConfig()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.RunAblation(cfg); err != nil {
+		if _, err := exp.RunAblation(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -338,7 +339,7 @@ func BenchmarkExtensionGRoute(b *testing.B) {
 	cfg := exp.QuickConfig()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.RunGRoute(cfg); err != nil {
+		if _, err := exp.RunGRoute(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -91,3 +91,40 @@ func TestCLIExperimentsQuick(t *testing.T) {
 		t.Fatalf("experiments output: %s", out)
 	}
 }
+
+// runCLIErr runs a command expecting failure; it returns combined output.
+func runCLIErr(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	cmd.Dir = "."
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go run %v succeeded, want failure\n%s", args, out)
+	}
+	return string(out)
+}
+
+func TestCLIMethodTimeout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	dir := t.TempDir()
+	runCLI(t, "./cmd/netgen", "-o", dir, "-designs", "1", "-nets", "4")
+	netsFile := filepath.Join(dir, "synth01.nets")
+
+	// A generous timeout routes end to end.
+	out := runCLI(t, "./cmd/patlabor", "-nets", netsFile, "-method", "salt", "-timeout", "30s")
+	if !strings.Contains(out, "Pareto solutions") {
+		t.Fatalf("salt with timeout: %s", out)
+	}
+	// An expired deadline aborts the batch with a context error.
+	out = runCLIErr(t, "./cmd/patlabor", "-nets", netsFile, "-method", "salt", "-timeout", "1ns")
+	if !strings.Contains(out, "deadline exceeded") {
+		t.Fatalf("expired deadline output: %s", out)
+	}
+	// -timeout also bounds the experiment driver.
+	out = runCLIErr(t, "./cmd/experiments", "-quick", "-exp", "thm1", "-timeout", "1ns")
+	if !strings.Contains(out, "deadline exceeded") {
+		t.Fatalf("experiments expired deadline output: %s", out)
+	}
+}

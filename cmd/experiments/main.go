@@ -4,15 +4,18 @@
 // Usage:
 //
 //	experiments [-exp all|fig6|table2|table3|table4|fig7a|fig7b|fig7c|thm1|thm2|ablation]
-//	            [-quick] [-designs N] [-nets N] [-seed S]
+//	            [-quick] [-designs N] [-nets N] [-seed S] [-timeout 10m]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // The small-net experiments (fig6, table3, table4, fig7a) share one pass
 // over the suite and are computed together when any of them is requested.
+// -timeout bounds the whole run: when it expires, the in-flight experiment
+// aborts at its next per-net check and the command fails.
 // -cpuprofile/-memprofile write runtime/pprof profiles of the full run.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +35,7 @@ func main() {
 	seed := flag.Int64("seed", 0, "override suite seed")
 	table := flag.String("table", "", "lookup-table file from cmd/lutgen, merged into the default table (speeds up PatLabor's small-net path)")
 	workers := flag.Int("workers", 0, "worker-pool size for per-net experiment loops (0 = GOMAXPROCS; results are identical at any worker count)")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -65,13 +69,20 @@ func main() {
 	}
 	cfg.Workers = *workers
 
-	if err := run(cfg, strings.ToLower(*which)); err != nil {
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	if err := run(ctx, cfg, strings.ToLower(*which)); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cfg exp.Config, which string) error {
+func run(ctx context.Context, cfg exp.Config, which string) error {
 	want := func(names ...string) bool {
 		if which == "all" {
 			return true
@@ -89,21 +100,21 @@ func run(cfg exp.Config, which string) error {
 		if cfg.Quick {
 			maxM = 2
 		}
-		res, err := exp.RunThm1(maxM)
+		res, err := exp.RunThm1(ctx, maxM)
 		if err != nil {
 			return err
 		}
 		fmt.Println(res.Render())
 	}
 	if want("thm2") {
-		res, err := exp.RunThm2(cfg, 7, nil, 200)
+		res, err := exp.RunThm2(ctx, cfg, 7, nil, 200)
 		if err != nil {
 			return err
 		}
 		fmt.Println(res.Render())
 	}
 	if want("thm5") {
-		res, err := exp.RunThm5(cfg, 12, nil, 40)
+		res, err := exp.RunThm5(ctx, cfg, 12, nil, 40)
 		if err != nil {
 			return err
 		}
@@ -114,7 +125,7 @@ func run(cfg exp.Config, which string) error {
 		if cfg.Quick {
 			eager, sampleDeg, sampleCnt = 5, 6, 10
 		}
-		res, err := exp.RunTable2(eager, sampleDeg, sampleCnt, 0)
+		res, err := exp.RunTable2(ctx, eager, sampleDeg, sampleCnt, 0)
 		if err != nil {
 			return err
 		}
@@ -130,7 +141,7 @@ func run(cfg exp.Config, which string) error {
 		suite = netgen.Suite(cfg.Suite)
 	}
 	if needSmall {
-		res, err := exp.RunSmall(cfg, suite)
+		res, err := exp.RunSmall(ctx, cfg, suite)
 		if err != nil {
 			return err
 		}
@@ -149,7 +160,7 @@ func run(cfg exp.Config, which string) error {
 	}
 	if needLarge {
 		nets := exp.LargeSuiteNets(cfg, suite)
-		res, err := exp.RunLarge(cfg, "Figure 7(b) — large-degree suite nets", nets, true)
+		res, err := exp.RunLarge(ctx, cfg, "Figure 7(b) — large-degree suite nets", nets, true)
 		if err != nil {
 			return err
 		}
@@ -157,21 +168,21 @@ func run(cfg exp.Config, which string) error {
 	}
 	if want("fig7c") {
 		nets := exp.Degree100Nets(cfg)
-		res, err := exp.RunLarge(cfg, "Figure 7(c) — random degree-100 nets", nets, true)
+		res, err := exp.RunLarge(ctx, cfg, "Figure 7(c) — random degree-100 nets", nets, true)
 		if err != nil {
 			return err
 		}
 		fmt.Println(res.Render())
 	}
 	if want("ablation") {
-		res, err := exp.RunAblation(cfg)
+		res, err := exp.RunAblation(ctx, cfg)
 		if err != nil {
 			return err
 		}
 		fmt.Println(res.Render())
 	}
 	if want("groute") {
-		res, err := exp.RunGRoute(cfg)
+		res, err := exp.RunGRoute(ctx, cfg)
 		if err != nil {
 			return err
 		}

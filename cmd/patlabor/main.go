@@ -3,36 +3,44 @@
 //
 // Usage:
 //
-//	patlabor -nets nets.txt [-method patlabor|salt|ysd|pd|ks]
-//	         [-lambda 9] [-table tables.gob] [-workers N] [-stats] [-v]
-//	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	patlabor -nets nets.txt [-method patlabor|salt|ysd|pd|ks|dw|rsmt|rsma]
+//	         [-lambda 9] [-table tables.gob] [-workers N] [-timeout 30s]
+//	         [-stats] [-v] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
-// The patlabor method routes the whole file as one batch on a worker pool
+// Every method routes the whole file as one batch on a worker pool
 // (-workers, default GOMAXPROCS; output order and content are identical at
-// any worker count). -stats prints the engine's counters — nets routed,
-// lookup-table hit rate and symbolic-evaluation savings, per-degree
-// latency — to stderr. With -v each solution also prints its tree edges.
-// -cpuprofile/-memprofile write runtime/pprof profiles of the routing run
-// for `go tool pprof`.
+// any worker count). -method picks any entrant of the method registry —
+// patlabor (default), the baselines, or an alias like dw/exact. -timeout
+// bounds the whole batch: when it expires, in-flight nets abort at their
+// next iteration check and the command fails. -stats prints the engine's
+// counters — per-method nets routed, lookup-table hit rate and
+// symbolic-evaluation savings, per-degree latency — to stderr. With -v
+// each solution also prints its tree edges. -cpuprofile/-memprofile write
+// runtime/pprof profiles of the routing run for `go tool pprof`.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"patlabor"
+	"patlabor/internal/engine"
 	"patlabor/internal/profiling"
 )
 
 func main() {
 	netsPath := flag.String("nets", "", "Bookshelf-style net file (required)")
-	method := flag.String("method", "patlabor", "routing method: patlabor, salt, ysd, pd, ks")
-	lambda := flag.Int("lambda", 0, "small-net threshold λ (default 9)")
+	method := flag.String("method", "patlabor",
+		"routing method: "+strings.Join(patlabor.Methods(), ", ")+" (or an alias like pd, ks, dw)")
+	lambda := flag.Int("lambda", 0, "small-net threshold λ (default 9; patlabor method only)")
 	table := flag.String("table", "", "pre-generated lookup table file (from lutgen)")
 	verbose := flag.Bool("v", false, "print tree edges")
-	workers := flag.Int("workers", 0, "worker-pool size for batch routing (0 = GOMAXPROCS; patlabor method only)")
-	stats := flag.Bool("stats", false, "print batch-engine statistics to stderr (patlabor method only)")
+	workers := flag.Int("workers", 0, "worker-pool size for batch routing (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "abort the batch after this duration (0 = no limit)")
+	stats := flag.Bool("stats", false, "print batch-engine statistics to stderr")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -46,37 +54,42 @@ func main() {
 		fatal(err)
 	}
 	defer stopProf()
+
 	nets, err := patlabor.ReadNets(*netsPath)
 	if err != nil {
 		fatal(err)
 	}
-	if *method == "patlabor" {
-		batch := make([]patlabor.Net, len(nets))
-		for i, nn := range nets {
-			batch[i] = nn.Net
-		}
-		eng, err := patlabor.NewEngine(patlabor.Options{Lambda: *lambda, TablePath: *table}, *workers)
-		if err != nil {
-			fatal(err)
-		}
-		results, err := eng.RouteAll(batch)
-		if err != nil {
-			fatal(err)
-		}
-		for i, nn := range nets {
-			printNet(nn.Name, nn.Net, results[i], *verbose)
-		}
-		if *stats {
-			fmt.Fprintf(os.Stderr, "batch engine (%d workers):\n%s", eng.Workers(), eng.Stats())
-		}
-		return
+	batch := make([]patlabor.Net, len(nets))
+	for i, nn := range nets {
+		batch[i] = nn.Net
 	}
-	for _, nn := range nets {
-		cands, err := route(*method, nn.Net)
-		if err != nil {
-			fatal(fmt.Errorf("net %s: %w", nn.Name, err))
-		}
-		printNet(nn.Name, nn.Net, cands, *verbose)
+	eng, err := engine.New(engine.Options{
+		Workers:   *workers,
+		Method:    *method,
+		Lambda:    *lambda,
+		TablePath: *table,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	// The timeout bounds routing, not setup: the clock starts after the
+	// engine (and any eager lookup tables) is built.
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	results, err := eng.RouteAll(ctx, batch)
+	if err != nil {
+		fatal(err)
+	}
+	for i, nn := range nets {
+		printNet(nn.Name, nn.Net, results[i], *verbose)
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "batch engine (%d workers, method %s):\n%s",
+			eng.Workers(), eng.Method(), eng.Stats())
 	}
 }
 
@@ -91,21 +104,6 @@ func printNet(name string, net patlabor.Net, cands []patlabor.Candidate, verbose
 				}
 			}
 		}
-	}
-}
-
-func route(method string, net patlabor.Net) ([]patlabor.Candidate, error) {
-	switch method {
-	case "salt":
-		return patlabor.SALTSweep(net, nil), nil
-	case "ysd":
-		return patlabor.YSDSweep(net, nil)
-	case "pd":
-		return patlabor.PDSweep(net, nil), nil
-	case "ks":
-		return patlabor.KSFrontier(net)
-	default:
-		return nil, fmt.Errorf("unknown method %q", method)
 	}
 }
 

@@ -18,6 +18,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"patlabor/internal/dw"
@@ -59,6 +60,13 @@ const DefaultLambda = 9
 // frontier for degree ≤ λ, a locally searched approximation otherwise.
 // Items are in canonical frontier order.
 func Route(net tree.Net, opts Options) ([]pareto.Item[*tree.Tree], error) {
+	return RouteContext(context.Background(), net, opts)
+}
+
+// RouteContext is Route with cancellation: the context is checked once per
+// local-search iteration (and threaded into the exact DP's subset loop), so
+// a deadline aborts within one step of whichever engine is running.
+func RouteContext(ctx context.Context, net tree.Net, opts Options) ([]pareto.Item[*tree.Tree], error) {
 	n := net.Degree()
 	if n == 0 {
 		return nil, fmt.Errorf("core: empty net")
@@ -71,14 +79,19 @@ func Route(net tree.Net, opts Options) ([]pareto.Item[*tree.Tree], error) {
 		return nil, fmt.Errorf("core: lambda %d out of range [2,%d]", lambda, dw.MaxExactDegree)
 	}
 	if n <= lambda {
-		return small(net, opts)
+		return small(ctx, net, opts)
 	}
-	return localSearch(net, lambda, opts)
+	return localSearch(ctx, net, lambda, opts)
 }
 
 // Frontier returns only the objective vectors of Route.
 func Frontier(net tree.Net, opts Options) ([]pareto.Sol, error) {
-	items, err := Route(net, opts)
+	return FrontierContext(context.Background(), net, opts)
+}
+
+// FrontierContext returns only the objective vectors of RouteContext.
+func FrontierContext(ctx context.Context, net tree.Net, opts Options) ([]pareto.Sol, error) {
+	items, err := RouteContext(ctx, net, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -91,7 +104,10 @@ func Frontier(net tree.Net, opts Options) ([]pareto.Sol, error) {
 
 // small answers a small-degree net exactly: lookup table when covered,
 // concrete Pareto-DW otherwise.
-func small(net tree.Net, opts Options) ([]pareto.Item[*tree.Tree], error) {
+func small(ctx context.Context, net tree.Net, opts Options) ([]pareto.Item[*tree.Tree], error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	table := opts.Table
 	if table == nil {
 		table = lut.Default()
@@ -101,10 +117,10 @@ func small(net tree.Net, opts Options) ([]pareto.Item[*tree.Tree], error) {
 	} else if err != nil {
 		return nil, err
 	}
-	return dw.Frontier(net, dw.DefaultOptions())
+	return dw.FrontierContext(ctx, net, dw.DefaultOptions())
 }
 
-func localSearch(net tree.Net, lambda int, opts Options) ([]pareto.Item[*tree.Tree], error) {
+func localSearch(ctx context.Context, net tree.Net, lambda int, opts Options) ([]pareto.Item[*tree.Tree], error) {
 	n := net.Degree()
 	iters := opts.Iterations
 	if iters <= 0 {
@@ -136,6 +152,9 @@ func localSearch(net tree.Net, lambda int, opts Options) ([]pareto.Item[*tree.Tr
 		}
 	}
 	for it := 0; it < iters; it++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var sel []int
 		if opts.RandomSelection {
 			sel = chunkSelection(n, lambda-1, it)
@@ -149,7 +168,7 @@ func localSearch(net tree.Net, lambda int, opts Options) ([]pareto.Item[*tree.Tr
 		if len(sel) == 0 {
 			break
 		}
-		subFront, err := subFrontier(net, sel, opts)
+		subFront, err := subFrontier(ctx, net, sel, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -223,13 +242,13 @@ func chunkSelection(n, k, round int) []int {
 
 // subFrontier computes the exact Pareto frontier of source + selected
 // pins, with trees relabelled into the parent net's pin frame.
-func subFrontier(net tree.Net, sel []int, opts Options) ([]pareto.Item[*tree.Tree], error) {
+func subFrontier(ctx context.Context, net tree.Net, sel []int, opts Options) ([]pareto.Item[*tree.Tree], error) {
 	pins := append([]int{0}, sel...)
 	sub := tree.Net{Pins: make([]geom.Point, len(pins))}
 	for i, p := range pins {
 		sub.Pins[i] = net.Pins[p]
 	}
-	items, err := small(sub, opts)
+	items, err := small(ctx, sub, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -246,7 +265,7 @@ func subFrontier(net tree.Net, sel []int, opts Options) ([]pareto.Item[*tree.Tre
 // of {base} ∪ rebuilt candidates. It is the selection-quality signal the
 // policy trainer optimises (examples/training).
 func StepHypervolume(net tree.Net, base *tree.Tree, sel []int, ref pareto.Sol) (float64, error) {
-	subFront, err := subFrontier(net, sel, Options{})
+	subFront, err := subFrontier(context.Background(), net, sel, Options{})
 	if err != nil {
 		return 0, err
 	}

@@ -25,6 +25,7 @@
 package dw
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"sort"
@@ -57,11 +58,21 @@ const MaxExactDegree = 16
 // Frontier computes the exact Pareto frontier of the net and one optimal
 // tree per frontier point, in canonical frontier order.
 func Frontier(net tree.Net, opts Options) ([]pareto.Item[*tree.Tree], error) {
+	return FrontierContext(context.Background(), net, opts)
+}
+
+// FrontierContext is Frontier with cancellation: the context is checked
+// once per sink-subset of the dynamic program, so an expired deadline
+// aborts within one subset's worth of work.
+func FrontierContext(ctx context.Context, net tree.Net, opts Options) ([]pareto.Item[*tree.Tree], error) {
 	c, err := newComputation(net, opts)
 	if err != nil {
 		return nil, err
 	}
-	entries := c.run()
+	entries, err := c.run(ctx)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]pareto.Item[*tree.Tree], len(entries))
 	for i, e := range entries {
 		t := c.reconstruct(e)
@@ -73,11 +84,20 @@ func Frontier(net tree.Net, opts Options) ([]pareto.Item[*tree.Tree], error) {
 // FrontierSols computes only the objective vectors of the exact Pareto
 // frontier (no tree reconstruction).
 func FrontierSols(net tree.Net, opts Options) ([]pareto.Sol, error) {
+	return FrontierSolsContext(context.Background(), net, opts)
+}
+
+// FrontierSolsContext is FrontierSols with cancellation (see
+// FrontierContext).
+func FrontierSolsContext(ctx context.Context, net tree.Net, opts Options) ([]pareto.Sol, error) {
 	c, err := newComputation(net, opts)
 	if err != nil {
 		return nil, err
 	}
-	entries := c.run()
+	entries, err := c.run(ctx)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]pareto.Sol, len(entries))
 	for i, e := range entries {
 		out[i] = pareto.Sol{W: c.arena[e].w, D: c.arena[e].d}
@@ -243,12 +263,16 @@ func (c *computation) computeBoundary() {
 }
 
 // run executes the dynamic program and returns the entry indices of the
-// final frontier S_{r, all sinks}.
-func (c *computation) run() []int32 {
+// final frontier S_{r, all sinks}. The context is checked before every
+// sink-subset so cancellation binds within one DP step.
+func (c *computation) run(ctx context.Context) ([]int32, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if c.m == 0 {
 		// No distinct sinks: the frontier is the single empty tree.
 		c.arena = append(c.arena, ent{w: 0, d: 0, kind: kBase, sink: -1})
-		return []int32{0}
+		return []int32{0}, nil
 	}
 	full := (1 << c.m) - 1
 	c.S = make([][][]int32, full+1)
@@ -268,6 +292,9 @@ func (c *computation) run() []int32 {
 	})
 
 	for _, q := range order {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		Sq := make([][]int32, nn)
 		// M: merge/base candidates per node.
 		M := make([][]int32, nn)
@@ -281,8 +308,7 @@ func (c *computation) run() []int32 {
 		c.extend(q, M, Sq)
 		c.S[q] = Sq
 	}
-	res := c.stateAt(full, c.rootNd)
-	return res
+	return c.stateAt(full, c.rootNd), nil
 }
 
 // bbox returns the inclusive rank-coordinate bounding box of the sinks in q.

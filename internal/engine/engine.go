@@ -1,25 +1,35 @@
 // Package engine is the batch-routing engine: it fans a slice of nets out
-// across a pool of workers, routes every net with the PatLabor core
-// (internal/core), and returns the per-net Pareto sets in input order
-// regardless of completion order. Routing is embarrassingly parallel
-// across nets — each net's construction touches no mutable shared state —
-// so the only cross-goroutine structures are the read-only lookup table
-// (internal/lut, immutable after its sync.Once build, RWMutex-guarded for
-// file merges) and the engine's own statistics collector.
+// across a pool of workers, routes every net with a registered routing
+// method (internal/method; PatLabor's core by default), and returns the
+// per-net Pareto sets in input order regardless of completion order.
+// Routing is embarrassingly parallel across nets — each net's construction
+// touches no mutable shared state — so the only cross-goroutine structures
+// are the read-only lookup table (internal/lut, immutable after its
+// sync.Once build, RWMutex-guarded for file merges) and the engine's own
+// statistics collector.
+//
+// Every batch runs under a context.Context: cancellation stops dispatching
+// new nets immediately, aborts in-flight nets at their next iteration
+// check (the method layer threads the context into the DP subset loop and
+// the local-search iterations), and leaves no goroutine behind — workers
+// exit once the job channel closes.
 //
 // Determinism contract: for every net, the engine returns exactly the
-// frontier serial core.Route would return, byte for byte, at any worker
+// frontier the serial method would return, byte for byte, at any worker
 // count. The differential test in engine_test.go enforces this.
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
 	"patlabor/internal/core"
 	"patlabor/internal/lut"
+	"patlabor/internal/method"
 	"patlabor/internal/pareto"
 	"patlabor/internal/policy"
 	"patlabor/internal/tree"
@@ -34,6 +44,10 @@ type Result = []pareto.Item[*tree.Tree]
 type Options struct {
 	// Workers is the worker-pool size; <=0 uses runtime.GOMAXPROCS(0).
 	Workers int
+	// Method selects the routing method by registry name (internal/method;
+	// "" = "patlabor"). The PatLabor method honours the remaining options;
+	// baseline methods route with their own defaults.
+	Method string
 	// Lambda is the small-net threshold λ (0 = core.DefaultLambda).
 	Lambda int
 	// Iterations overrides the local-search iteration count (0 = ⌊n/λ⌋).
@@ -51,7 +65,7 @@ type Options struct {
 // Engine routes batches of nets concurrently. It is safe for concurrent
 // use; statistics accumulate across RouteAll calls until Reset.
 type Engine struct {
-	copts   core.Options
+	method  method.Method
 	workers int
 	table   *lut.Table
 	// base subtracts table traffic that predates this engine (the lut
@@ -77,8 +91,9 @@ func snapshotTable(t *lut.Table) tableCounters {
 	return c
 }
 
-// New builds an engine, loading the lookup-table file (if any) exactly
-// once up front so workers never race on table construction.
+// New builds an engine, resolving the routing method against the registry
+// and loading the lookup-table file (if any) exactly once up front so
+// workers never race on table construction.
 func New(opts Options) (*Engine, error) {
 	workers := opts.Workers
 	if workers <= 0 {
@@ -98,36 +113,67 @@ func New(opts Options) (*Engine, error) {
 			}
 		}
 	}
-	counting := table
-	if counting == nil {
-		counting = lut.Default()
+	name := opts.Method
+	if name == "" {
+		name = "patlabor"
 	}
-	return &Engine{
-		copts: core.Options{
+	var m method.Method
+	counting := table
+	if method.Key(name) == "patlabor" {
+		// PatLabor routes with this engine's resolved core options; the
+		// registry entry would use the defaults.
+		m = method.PatLabor(core.Options{
 			Lambda:     opts.Lambda,
 			Iterations: opts.Iterations,
 			Table:      table,
 			Params:     opts.Params,
-		},
+		})
+		if counting == nil {
+			// Resolve the shared table now (first use generates the eager
+			// degrees), so that cost lands in construction, not mid-batch.
+			counting = lut.Default()
+		}
+	} else {
+		mm, ok := method.Get(name)
+		if !ok {
+			return nil, fmt.Errorf("engine: unknown method %q (have %s)",
+				name, strings.Join(method.Names(), ", "))
+		}
+		// Baseline methods never consult the lookup table; leave counting
+		// nil (unless a table was passed explicitly) so a salt/ysd engine
+		// does not pay for eager table generation.
+		m = mm
+	}
+	e := &Engine{
+		method:  m,
 		workers: workers,
 		table:   counting,
-		base:    snapshotTable(counting),
-	}, nil
+	}
+	if counting != nil {
+		e.base = snapshotTable(counting)
+	}
+	return e, nil
 }
 
 // Workers returns the resolved worker-pool size.
 func (e *Engine) Workers() int { return e.workers }
 
+// Method returns the display name of the engine's routing method.
+func (e *Engine) Method() string { return e.method.Name() }
+
 // RouteAll routes every net and returns the results positionally aligned
 // with nets. The lowest-index failure is returned; later nets may be left
-// unrouted once a failure occurs.
-func (e *Engine) RouteAll(nets []tree.Net) ([]Result, error) {
+// unrouted once a failure occurs. When ctx is cancelled (or its deadline
+// expires) mid-batch, dispatch stops promptly, in-flight nets abort at
+// their next iteration check, the results are nil and ctx.Err() is
+// returned.
+func (e *Engine) RouteAll(ctx context.Context, nets []tree.Net) ([]Result, error) {
 	out := make([]Result, len(nets))
 	local := make([]collector, e.workers)
 	start := time.Now()
-	err := forEach(len(nets), e.workers, func(worker, i int) error {
+	err := forEach(ctx, len(nets), e.workers, func(worker, i int) error {
 		t0 := time.Now()
-		cands, err := core.Route(nets[i], e.copts)
+		cands, err := e.method.Frontier(ctx, nets[i])
 		if err != nil {
 			local[worker].errs++
 			return fmt.Errorf("engine: net %d: %w", i, err)
@@ -140,7 +186,7 @@ func (e *Engine) RouteAll(nets []tree.Net) ([]Result, error) {
 
 	e.mu.Lock()
 	for w := range local {
-		e.stats.merge(&local[w])
+		e.stats.merge(e.method.Name(), &local[w])
 	}
 	e.stats.Batches++
 	e.stats.Elapsed += elapsed
@@ -151,24 +197,34 @@ func (e *Engine) RouteAll(nets []tree.Net) ([]Result, error) {
 	return out, nil
 }
 
-// Stats returns a snapshot of the engine's cumulative counters.
+// Stats returns a snapshot of the engine's cumulative counters. The
+// lookup-table counters stay zero for engines whose method never
+// consults a table.
 func (e *Engine) Stats() Stats {
-	cur := snapshotTable(e.table)
+	var cur tableCounters
+	if e.table != nil {
+		cur = snapshotTable(e.table)
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	s := e.stats.clone()
-	s.CacheHits = cur.hits - e.base.hits
-	s.CacheMisses = cur.misses - e.base.misses
-	s.CacheErrors = cur.errs - e.base.errs
-	s.ToposEvaluated = cur.evaluated - e.base.evaluated
-	s.TreesMaterialized = cur.materialized - e.base.materialized
+	if e.table != nil {
+		s.CacheHits = cur.hits - e.base.hits
+		s.CacheMisses = cur.misses - e.base.misses
+		s.CacheErrors = cur.errs - e.base.errs
+		s.ToposEvaluated = cur.evaluated - e.base.evaluated
+		s.TreesMaterialized = cur.materialized - e.base.materialized
+	}
 	return s
 }
 
 // Reset zeroes the engine's counters (cache counters rebase to the
 // table's current values).
 func (e *Engine) Reset() {
-	cur := snapshotTable(e.table)
+	var cur tableCounters
+	if e.table != nil {
+		cur = snapshotTable(e.table)
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.stats = Stats{}
@@ -176,13 +232,13 @@ func (e *Engine) Reset() {
 }
 
 // RouteAll is the one-shot convenience: build an engine and route the
-// batch.
-func RouteAll(nets []tree.Net, opts Options) ([]Result, error) {
+// batch under ctx.
+func RouteAll(ctx context.Context, nets []tree.Net, opts Options) ([]Result, error) {
 	e, err := New(opts)
 	if err != nil {
 		return nil, err
 	}
-	return e.RouteAll(nets)
+	return e.RouteAll(ctx, nets)
 }
 
 // ForEach runs fn(i) for every i in [0,n) on a pool of `workers`
@@ -194,10 +250,20 @@ func RouteAll(nets []tree.Net, opts Options) ([]Result, error) {
 // write only to their own index's slot, aggregation happens serially
 // afterwards.
 func ForEach(n, workers int, fn func(i int) error) error {
-	return forEach(n, workers, func(_, i int) error { return fn(i) })
+	return ForEachContext(context.Background(), n, workers, fn)
 }
 
-func forEach(n, workers int, fn func(worker, i int) error) error {
+// ForEachContext is ForEach under a context: cancellation stops
+// dispatching, the pool drains, and ctx.Err() is returned (taking
+// precedence over any per-index error).
+func ForEachContext(ctx context.Context, n, workers int, fn func(i int) error) error {
+	return forEach(ctx, n, workers, func(_, i int) error { return fn(i) })
+}
+
+func forEach(ctx context.Context, n, workers int, fn func(worker, i int) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if n == 0 {
 		return nil
 	}
@@ -209,7 +275,15 @@ func forEach(n, workers int, fn func(worker, i int) error) error {
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(0, i); err != nil {
+				// Match the pooled path: a cancellation-caused failure
+				// surfaces as ctx.Err(), not the per-index wrapper.
+				if cerr := ctx.Err(); cerr != nil {
+					return cerr
+				}
 				return err
 			}
 		}
@@ -234,17 +308,25 @@ func forEach(n, workers int, fn func(worker, i int) error) error {
 	}
 	// Dispatch in index order: when a failure closes stop, every index
 	// below the failed one has already been handed out, so after wg.Wait
-	// the lowest non-nil error is stable across runs.
+	// the lowest non-nil error is stable across runs. Cancellation closes
+	// the same window: no further index is handed out, handed-out indices
+	// abort at their next internal ctx check, and the workers exit when
+	// the job channel closes — nothing leaks.
 dispatch:
 	for i := 0; i < n; i++ {
 		select {
 		case jobs <- i:
 		case <-stop:
 			break dispatch
+		case <-ctx.Done():
+			break dispatch
 		}
 	}
 	close(jobs)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err

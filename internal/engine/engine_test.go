@@ -2,6 +2,7 @@ package engine
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -37,7 +38,7 @@ func TestRouteAllDifferential(t *testing.T) {
 		serial[i] = sols
 	}
 
-	results, err := RouteAll(nets, Options{Workers: 8})
+	results, err := RouteAll(context.Background(), nets, Options{Workers: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestRouteAllWorkerCounts(t *testing.T) {
 	}
 	var ref []Result
 	for _, w := range []int{1, 2, 8, runtime.GOMAXPROCS(0)} {
-		res, err := RouteAll(nets, Options{Workers: w})
+		res, err := RouteAll(context.Background(), nets, Options{Workers: w})
 		if err != nil {
 			t.Fatalf("workers=%d: %v", w, err)
 		}
@@ -106,7 +107,7 @@ func TestRouteAllLargeNets(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.RouteAll(nets)
+	res, err := e.RouteAll(context.Background(), nets)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestRouteAllLargeNets(t *testing.T) {
 func TestRouteAllError(t *testing.T) {
 	good := netgen.Uniform(rand.New(rand.NewSource(1)), 4, 100)
 	nets := []tree.Net{good, {}, good, {}}
-	_, err := RouteAll(nets, Options{Workers: 4})
+	_, err := RouteAll(context.Background(), nets, Options{Workers: 4})
 	if err == nil {
 		t.Fatal("empty net accepted")
 	}
@@ -147,12 +148,16 @@ func TestStats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.RouteAll(nets); err != nil {
+	if _, err := e.RouteAll(context.Background(), nets); err != nil {
 		t.Fatal(err)
 	}
 	s := e.Stats()
 	if s.NetsRouted != 30 || s.Batches != 1 || s.Errors != 0 {
 		t.Fatalf("stats = %+v", s)
+	}
+	if len(s.Methods) != 1 || s.Methods[0].Name != "PatLabor" ||
+		s.Methods[0].Nets != 30 || s.Methods[0].Errors != 0 {
+		t.Fatalf("per-method stats = %+v", s.Methods)
 	}
 	if s.CacheHits+s.CacheMisses != 30 {
 		t.Fatalf("cache traffic %d+%d, want 30 consults", s.CacheHits, s.CacheMisses)
@@ -207,7 +212,7 @@ func TestStatsConcurrent(t *testing.T) {
 		}
 	}()
 	for r := 0; r < 3; r++ {
-		if _, err := e.RouteAll(nets); err != nil {
+		if _, err := e.RouteAll(context.Background(), nets); err != nil {
 			t.Error(err)
 		}
 	}

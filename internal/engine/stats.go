@@ -45,6 +45,15 @@ func bucketOf(d time.Duration) int {
 	return b
 }
 
+// MethodStats is one routing method's cumulative share of an engine's
+// traffic: how many nets it routed successfully and how many of its
+// routes failed.
+type MethodStats struct {
+	Name   string
+	Nets   int64
+	Errors int64
+}
+
 // Stats is a snapshot of an engine's cumulative counters.
 type Stats struct {
 	NetsRouted  int64
@@ -60,7 +69,11 @@ type Stats struct {
 	// dot products versus frontier survivors actually built as trees.
 	ToposEvaluated    int64
 	TreesMaterialized int64
-	Degrees           []DegreeLatency
+	// Methods breaks NetsRouted/Errors down per routing method, sorted by
+	// method name. A single engine routes with one method, but counters
+	// survive Reset-free engine reuse and merge across batches.
+	Methods []MethodStats
+	Degrees []DegreeLatency
 }
 
 // collector is one worker's private accumulator; workers never share one,
@@ -91,12 +104,22 @@ func (c *collector) record(degree int, d time.Duration) {
 	dl.Buckets[bucketOf(d)]++
 }
 
-// merge folds one worker's collector into the stats (caller holds the
-// engine lock).
-func (s *Stats) merge(c *collector) {
+// merge folds one worker's collector into the stats under the routing
+// method's display name (caller holds the engine lock).
+func (s *Stats) merge(methodName string, c *collector) {
 	s.NetsRouted += c.nets
 	s.Errors += c.errs
 	s.Busy += c.busy
+	if c.nets > 0 || c.errs > 0 {
+		i := sort.Search(len(s.Methods), func(i int) bool { return s.Methods[i].Name >= methodName })
+		if i == len(s.Methods) || s.Methods[i].Name != methodName {
+			s.Methods = append(s.Methods, MethodStats{})
+			copy(s.Methods[i+1:], s.Methods[i:])
+			s.Methods[i] = MethodStats{Name: methodName}
+		}
+		s.Methods[i].Nets += c.nets
+		s.Methods[i].Errors += c.errs
+	}
 	for deg, dl := range c.degrees {
 		i := sort.Search(len(s.Degrees), func(i int) bool { return s.Degrees[i].Degree >= deg })
 		if i == len(s.Degrees) || s.Degrees[i].Degree != deg {
@@ -118,6 +141,7 @@ func (s *Stats) merge(c *collector) {
 
 func (s Stats) clone() Stats {
 	c := s
+	c.Methods = append([]MethodStats(nil), s.Methods...)
 	c.Degrees = append([]DegreeLatency(nil), s.Degrees...)
 	return c
 }
@@ -138,6 +162,13 @@ func (s Stats) Speedup() float64 {
 func (s Stats) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "nets routed   %d (%d errors, %d batches)\n", s.NetsRouted, s.Errors, s.Batches)
+	for _, m := range s.Methods {
+		fmt.Fprintf(&b, "method %-12s %6d nets", m.Name, m.Nets)
+		if m.Errors > 0 {
+			fmt.Fprintf(&b, "  %d errors", m.Errors)
+		}
+		fmt.Fprintf(&b, "\n")
+	}
 	fmt.Fprintf(&b, "wall / busy   %s / %s (%.2fx effective parallelism)\n",
 		s.Elapsed.Round(time.Microsecond), s.Busy.Round(time.Microsecond), s.Speedup())
 	total := s.CacheHits + s.CacheMisses

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -26,8 +27,9 @@ type AblationResult struct {
 	SearchRows [][]string // policy vs random, refine on/off
 }
 
-// RunAblation executes all ablations at a size driven by cfg.Quick.
-func RunAblation(cfg Config) (*AblationResult, error) {
+// RunAblation executes all ablations at a size driven by cfg.Quick,
+// checking ctx between timed runs.
+func RunAblation(ctx context.Context, cfg Config) (*AblationResult, error) {
 	res := &AblationResult{}
 	rng := rand.New(rand.NewSource(99))
 
@@ -55,7 +57,7 @@ func RunAblation(cfg Config) (*AblationResult, error) {
 		var total time.Duration
 		for i, net := range nets {
 			start := time.Now()
-			sols, err := dw.FrontierSols(net, c.opt)
+			sols, err := dw.FrontierSolsContext(ctx, net, c.opt)
 			if err != nil {
 				return nil, err
 			}
@@ -96,7 +98,7 @@ func RunAblation(cfg Config) (*AblationResult, error) {
 		}
 		lutTime += time.Since(start)
 		start = time.Now()
-		if _, err := dw.FrontierSols(net, dw.DefaultOptions()); err != nil {
+		if _, err := dw.FrontierSolsContext(ctx, net, dw.DefaultOptions()); err != nil {
 			return nil, err
 		}
 		dpTime += time.Since(start)
@@ -134,7 +136,7 @@ func RunAblation(cfg Config) (*AblationResult, error) {
 			wN := rsmt.Wirelength(net)
 			dN := rsma.MinDelay(net)
 			start := time.Now()
-			sols, err := core.Frontier(net, v.opt)
+			sols, err := core.FrontierContext(ctx, net, v.opt)
 			if err != nil {
 				return nil, err
 			}

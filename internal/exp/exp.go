@@ -1,22 +1,20 @@
 // Package exp is the experiment harness: one runner per table and figure
-// of the paper's evaluation (§VI), sharing a method registry and the
-// synthetic ICCAD-15-like suite of internal/netgen. cmd/experiments drives
-// it; the root bench_test.go wraps each runner in a testing.B benchmark.
-// EXPERIMENTS.md records paper-reported versus measured values.
+// of the paper's evaluation (§VI), drawing its entrants from the shared
+// method registry (internal/method) and the synthetic ICCAD-15-like suite
+// of internal/netgen. cmd/experiments drives it; the root bench_test.go
+// wraps each runner in a testing.B benchmark. Every runner takes a
+// context.Context, so a -timeout flag (or a test deadline) aborts the
+// suite mid-experiment. EXPERIMENTS.md records paper-reported versus
+// measured values.
 package exp
 
 import (
 	"fmt"
 	"time"
 
-	"patlabor/internal/core"
-	"patlabor/internal/ks"
 	"patlabor/internal/netgen"
 	"patlabor/internal/pareto"
-	"patlabor/internal/pd"
-	"patlabor/internal/salt"
 	"patlabor/internal/tree"
-	"patlabor/internal/ysd"
 )
 
 // Config scales the experiments. Quick mode shrinks sample counts so the
@@ -43,49 +41,6 @@ func QuickConfig() Config {
 	cfg.Suite.Designs = 2
 	cfg.Suite.NetsPerDesign = 60
 	return cfg
-}
-
-// Method is one routing-tree construction entrant: it returns a Pareto set
-// of objective vectors for a net.
-type Method struct {
-	Name string
-	Run  func(net tree.Net) ([]pareto.Sol, error)
-}
-
-// Methods returns the standard entrants compared throughout §VI:
-// PatLabor, SALT and YSD (plus Prim–Dijkstra and Pareto-KS as additional
-// baselines when all is true).
-func Methods(all bool) []Method {
-	ms := []Method{
-		{Name: "PatLabor", Run: func(net tree.Net) ([]pareto.Sol, error) {
-			return core.Frontier(net, core.Options{})
-		}},
-		{Name: "SALT", Run: func(net tree.Net) ([]pareto.Sol, error) {
-			return itemSols(salt.Sweep(net, nil)), nil
-		}},
-		{Name: "YSD", Run: func(net tree.Net) ([]pareto.Sol, error) {
-			items, err := ysd.Sweep(net, nil)
-			if err != nil {
-				return nil, err
-			}
-			return itemSols(items), nil
-		}},
-	}
-	if all {
-		ms = append(ms,
-			Method{Name: "PD-II", Run: func(net tree.Net) ([]pareto.Sol, error) {
-				return itemSols(pd.Sweep(net, nil)), nil
-			}},
-			Method{Name: "Pareto-KS", Run: func(net tree.Net) ([]pareto.Sol, error) {
-				items, err := ks.Frontier(net, ks.Options{})
-				if err != nil {
-					return nil, err
-				}
-				return itemSols(items), nil
-			}},
-		)
-	}
-	return ms
 }
 
 func itemSols(items []pareto.Item[*tree.Tree]) []pareto.Sol {

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -15,7 +16,7 @@ func quickDesigns(t *testing.T, cfg Config) []netgen.Design {
 func TestRunSmallQuick(t *testing.T) {
 	cfg := QuickConfig()
 	designs := quickDesigns(t, cfg)
-	res, err := RunSmall(cfg, designs)
+	res, err := RunSmall(context.Background(), cfg, designs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestRunLargeQuick(t *testing.T) {
 	if len(nets) == 0 {
 		t.Skip("no large nets in quick suite sample")
 	}
-	res, err := RunLarge(cfg, "Figure 7(b)", nets, false)
+	res, err := RunLarge(context.Background(), cfg, "Figure 7(b)", nets, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestDegree100NetsQuick(t *testing.T) {
 }
 
 func TestRunThm1(t *testing.T) {
-	res, err := RunThm1(2)
+	res, err := RunThm1(context.Background(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestRunThm1(t *testing.T) {
 
 func TestRunThm2Quick(t *testing.T) {
 	cfg := QuickConfig()
-	res, err := RunThm2(cfg, 6, []float64{1, 4}, 20)
+	res, err := RunThm2(context.Background(), cfg, 6, []float64{1, 4}, 20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestRunThm2Quick(t *testing.T) {
 }
 
 func TestRunTable2Quick(t *testing.T) {
-	res, err := RunTable2(5, 6, 4, 2)
+	res, err := RunTable2(context.Background(), 5, 6, 4, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestRunTable2Quick(t *testing.T) {
 
 func TestRunAblationQuick(t *testing.T) {
 	cfg := QuickConfig()
-	res, err := RunAblation(cfg)
+	res, err := RunAblation(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +158,7 @@ func TestRunAblationQuick(t *testing.T) {
 
 func TestRunGRouteQuick(t *testing.T) {
 	cfg := QuickConfig()
-	res, err := RunGRoute(cfg)
+	res, err := RunGRoute(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +173,7 @@ func TestRunGRouteQuick(t *testing.T) {
 
 func TestRunThm5Quick(t *testing.T) {
 	cfg := QuickConfig()
-	res, err := RunThm5(cfg, 12, []int{3, 6}, 8)
+	res, err := RunThm5(context.Background(), cfg, 12, []int{3, 6}, 8)
 	if err != nil {
 		t.Fatal(err)
 	}

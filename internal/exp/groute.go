@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -24,7 +25,7 @@ type GRouteResult struct {
 // RunGRoute builds a congested block (drivers east, sink clusters west),
 // routes every net with PatLabor, and compares three topology sources on
 // the same capacity grid.
-func RunGRoute(cfg Config) (*GRouteResult, error) {
+func RunGRoute(ctx context.Context, cfg Config) (*GRouteResult, error) {
 	rng := rand.New(rand.NewSource(23))
 	count := 120
 	if cfg.Quick {
@@ -49,7 +50,7 @@ func RunGRoute(cfg Config) (*GRouteResult, error) {
 			net.Pins[0].X = 1200 + rng.Int63n(300)
 			batch[i] = net
 		}
-		results, err := eng.RouteAll(batch)
+		results, err := eng.RouteAll(ctx, batch)
 		if err != nil {
 			return nil, err
 		}

@@ -1,11 +1,13 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
 
 	"patlabor/internal/engine"
+	"patlabor/internal/method"
 	"patlabor/internal/netgen"
 	"patlabor/internal/pareto"
 	"patlabor/internal/rsma"
@@ -28,8 +30,8 @@ type LargeResult struct {
 // cfg.Workers workers. Wirelength is normalised by the RSMT engine's tree
 // (FLUTE's role) and delay by the shortest-path arborescence delay (CL's
 // role), exactly as in Figure 7.
-func RunLarge(cfg Config, title string, nets []tree.Net, allMethods bool) (*LargeResult, error) {
-	methods := Methods(allMethods)
+func RunLarge(ctx context.Context, cfg Config, title string, nets []tree.Net, allMethods bool) (*LargeResult, error) {
+	methods := method.Standard(allMethods)
 	res := &LargeResult{
 		Title:       title,
 		Nets:        len(nets),
@@ -38,8 +40,8 @@ func RunLarge(cfg Config, title string, nets []tree.Net, allMethods bool) (*Larg
 		Hypervolume: map[string]float64{},
 	}
 	for _, m := range methods {
-		res.Methods = append(res.Methods, m.Name)
-		res.Curves[m.Name] = newCurve()
+		res.Methods = append(res.Methods, m.Name())
+		res.Curves[m.Name()] = newCurve()
 	}
 	ref := pareto.Sol{W: 160, D: 160} // on the ×100 normalised scale below
 	// Per-net evaluation runs on the worker pool; each net fills its own
@@ -51,7 +53,7 @@ func RunLarge(cfg Config, title string, nets []tree.Net, allMethods bool) (*Larg
 		dur    map[string]time.Duration
 	}
 	evals := make([]netEval, len(nets))
-	err := engine.ForEach(len(nets), cfg.Workers, func(i int) error {
+	err := engine.ForEachContext(ctx, len(nets), cfg.Workers, func(i int) error {
 		net := nets[i]
 		ev := netEval{
 			wN:   rsmt.Wirelength(net),
@@ -64,15 +66,18 @@ func RunLarge(cfg Config, title string, nets []tree.Net, allMethods bool) (*Larg
 				var sols []pareto.Sol
 				var acc time.Duration
 				err := timed(&acc, func() error {
-					var err error
-					sols, err = m.Run(net)
-					return err
+					items, err := m.Frontier(ctx, net)
+					if err != nil {
+						return err
+					}
+					sols = itemSols(items)
+					return nil
 				})
 				if err != nil {
-					return fmt.Errorf("exp: %s on degree-%d net: %w", m.Name, net.Degree(), err)
+					return fmt.Errorf("exp: %s on degree-%d net: %w", m.Name(), net.Degree(), err)
 				}
-				ev.sols[m.Name] = sols
-				ev.dur[m.Name] = acc
+				ev.sols[m.Name()] = sols
+				ev.dur[m.Name()] = acc
 			}
 		}
 		evals[i] = ev
@@ -86,9 +91,9 @@ func RunLarge(cfg Config, title string, nets []tree.Net, allMethods bool) (*Larg
 			continue
 		}
 		for _, m := range methods {
-			res.Runtime[m.Name] += ev.dur[m.Name]
-			sols := ev.sols[m.Name]
-			res.Curves[m.Name].add(sols, ev.wN, ev.dN)
+			res.Runtime[m.Name()] += ev.dur[m.Name()]
+			sols := ev.sols[m.Name()]
+			res.Curves[m.Name()].add(sols, ev.wN, ev.dN)
 			// Normalised hypervolume on a ×100 integer scale.
 			norm := make([]pareto.Sol, 0, len(sols))
 			for _, s := range sols {
@@ -97,7 +102,7 @@ func RunLarge(cfg Config, title string, nets []tree.Net, allMethods bool) (*Larg
 					D: s.D * 100 / ev.dN,
 				})
 			}
-			res.Hypervolume[m.Name] += pareto.Hypervolume(norm, ref)
+			res.Hypervolume[m.Name()] += pareto.Hypervolume(norm, ref)
 		}
 	}
 	for _, c := range res.Curves {

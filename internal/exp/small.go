@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -8,6 +9,7 @@ import (
 
 	"patlabor/internal/dw"
 	"patlabor/internal/engine"
+	"patlabor/internal/method"
 	"patlabor/internal/netgen"
 	"patlabor/internal/pareto"
 	"patlabor/internal/stats"
@@ -83,9 +85,9 @@ func (c *Curve) finalize() {
 	}
 }
 
-// RunSmall executes the small-degree pass over the suite.
-func RunSmall(cfg Config, designs []netgen.Design) (*SmallResult, error) {
-	methods := Methods(false)
+// RunSmall executes the small-degree pass over the suite under ctx.
+func RunSmall(ctx context.Context, cfg Config, designs []netgen.Design) (*SmallResult, error) {
+	methods := method.Standard(false)
 	res := &SmallResult{
 		Curves:  map[string]*Curve{},
 		Runtime: map[string]time.Duration{},
@@ -99,8 +101,8 @@ func RunSmall(cfg Config, designs []netgen.Design) (*SmallResult, error) {
 		}
 	}
 	for _, m := range methods {
-		res.Methods = append(res.Methods, m.Name)
-		res.Curves[m.Name] = newCurve()
+		res.Methods = append(res.Methods, m.Name())
+		res.Curves[m.Name()] = newCurve()
 	}
 
 	nets := netgen.NetsInDegreeRange(designs, 4, 9)
@@ -116,9 +118,9 @@ func RunSmall(cfg Config, designs []netgen.Design) (*SmallResult, error) {
 		dur   map[string]time.Duration
 	}
 	evals := make([]netEval, len(nets))
-	err := engine.ForEach(len(nets), cfg.Workers, func(i int) error {
+	err := engine.ForEachContext(ctx, len(nets), cfg.Workers, func(i int) error {
 		net := nets[i]
-		truth, err := dw.FrontierSols(net, dw.DefaultOptions())
+		truth, err := dw.FrontierSolsContext(ctx, net, dw.DefaultOptions())
 		if err != nil {
 			return fmt.Errorf("exp: truth for degree-%d net: %w", net.Degree(), err)
 		}
@@ -131,15 +133,18 @@ func RunSmall(cfg Config, designs []netgen.Design) (*SmallResult, error) {
 			var sols []pareto.Sol
 			var acc time.Duration
 			err := timed(&acc, func() error {
-				var err error
-				sols, err = m.Run(net)
-				return err
+				items, err := m.Frontier(ctx, net)
+				if err != nil {
+					return err
+				}
+				sols = itemSols(items)
+				return nil
 			})
 			if err != nil {
-				return fmt.Errorf("exp: %s on degree-%d net: %w", m.Name, net.Degree(), err)
+				return fmt.Errorf("exp: %s on degree-%d net: %w", m.Name(), net.Degree(), err)
 			}
-			ev.sols[m.Name] = sols
-			ev.dur[m.Name] = acc
+			ev.sols[m.Name()] = sols
+			ev.dur[m.Name()] = acc
 		}
 		evals[i] = ev
 		return nil
@@ -157,11 +162,11 @@ func RunSmall(cfg Config, designs []netgen.Design) (*SmallResult, error) {
 		}
 		agg.FrontierSols += len(truth)
 		for _, m := range methods {
-			res.Runtime[m.Name] += ev.dur[m.Name]
-			found := pareto.CountCovered(ev.sols[m.Name], truth)
-			agg.Found[m.Name] += found
+			res.Runtime[m.Name()] += ev.dur[m.Name()]
+			found := pareto.CountCovered(ev.sols[m.Name()], truth)
+			agg.Found[m.Name()] += found
 			if found < len(truth) {
-				agg.NonOptimal[m.Name]++
+				agg.NonOptimal[m.Name()]++
 			}
 		}
 		// PatLabor must be exact on small nets — a broken table or DP
@@ -177,7 +182,7 @@ func RunSmall(cfg Config, designs []netgen.Design) (*SmallResult, error) {
 			res.NonOpt++
 			wN, dN := truth[0].W, truth[len(truth)-1].D
 			for _, m := range methods {
-				res.Curves[m.Name].add(ev.sols[m.Name], wN, dN)
+				res.Curves[m.Name()].add(ev.sols[m.Name()], wN, dN)
 			}
 		}
 	}

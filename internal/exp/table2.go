@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"time"
@@ -26,9 +27,12 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 // RunTable2 generates lookup tables eagerly up to eagerMax and a sampled
 // slice of the sampleDegree patterns (the per-pattern cost extrapolates to
 // the full generation time the paper reports in hours for degree 9).
-func RunTable2(eagerMax, sampleDegree, sampleCount, workers int) (*Table2Result, error) {
+func RunTable2(ctx context.Context, eagerMax, sampleDegree, sampleCount, workers int) (*Table2Result, error) {
 	res := &Table2Result{}
 	for d := 4; d <= eagerMax; d++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		t := lut.New()
 		if err := t.Generate(d, workers); err != nil {
 			return nil, err
@@ -45,6 +49,9 @@ func RunTable2(eagerMax, sampleDegree, sampleCount, workers int) (*Table2Result,
 		res.Sizes = append(res.Sizes, cw.n)
 	}
 	if sampleDegree > eagerMax && sampleCount > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		t := lut.New()
 		if err := t.GenerateSample(sampleDegree, workers, sampleCount); err != nil {
 			return nil, err

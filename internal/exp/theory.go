@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strconv"
@@ -20,11 +21,11 @@ type Thm1Result struct {
 }
 
 // RunThm1 measures the exact frontier size of the gadget for m = 1..maxM.
-func RunThm1(maxM int) (*Thm1Result, error) {
+func RunThm1(ctx context.Context, maxM int) (*Thm1Result, error) {
 	res := &Thm1Result{}
 	for m := 1; m <= maxM; m++ {
 		net := netgen.SGadget(m)
-		sols, err := dw.FrontierSols(net, dw.DefaultOptions())
+		sols, err := dw.FrontierSolsContext(ctx, net, dw.DefaultOptions())
 		if err != nil {
 			return nil, err
 		}
@@ -60,7 +61,7 @@ type Thm2Result struct {
 
 // RunThm2 samples κ-smoothed degree-n instances per κ and measures exact
 // frontier sizes.
-func RunThm2(cfg Config, degree int, kappas []float64, samples int) (*Thm2Result, error) {
+func RunThm2(ctx context.Context, cfg Config, degree int, kappas []float64, samples int) (*Thm2Result, error) {
 	if len(kappas) == 0 {
 		kappas = []float64{1, 2, 4, 8, 16}
 	}
@@ -77,7 +78,7 @@ func RunThm2(cfg Config, degree int, kappas []float64, samples int) (*Thm2Result
 		maxSize := 0
 		for s := 0; s < samples; s++ {
 			net := netgen.Smoothed(rng, degree, k, 100000)
-			sols, err := dw.FrontierSols(net, dw.DefaultOptions())
+			sols, err := dw.FrontierSolsContext(ctx, net, dw.DefaultOptions())
 			if err != nil {
 				return nil, err
 			}

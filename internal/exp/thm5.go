@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -29,8 +30,8 @@ type Thm5Result struct {
 }
 
 // RunThm5 trains the policy on m instances for several m and measures the
-// gap on a fixed held-out set.
-func RunThm5(cfg Config, degree int, ms []int, testSize int) (*Thm5Result, error) {
+// gap on a fixed held-out set, checking ctx between training sizes.
+func RunThm5(ctx context.Context, cfg Config, degree int, ms []int, testSize int) (*Thm5Result, error) {
 	if degree < 10 {
 		degree = 12
 	}
@@ -70,6 +71,9 @@ func RunThm5(cfg Config, degree int, ms []int, testSize int) (*Thm5Result, error
 	res := &Thm5Result{Degree: degree}
 	k := core.DefaultLambda - 1
 	for _, m := range ms {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		cfg := policy.TrainConfig{
 			Degrees:   []int{degree},
 			Instances: m,

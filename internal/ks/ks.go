@@ -11,6 +11,7 @@
 package ks
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -43,6 +44,13 @@ const MaxLeaf = 9
 // Frontier approximates the Pareto frontier of the net, returning one tree
 // per retained solution in canonical order.
 func Frontier(net tree.Net, opts Options) ([]pareto.Item[*tree.Tree], error) {
+	return FrontierContext(context.Background(), net, opts)
+}
+
+// FrontierContext is Frontier with cancellation: the context is checked at
+// every node of the divide-and-conquer recursion and threaded into the
+// exact DP solving the leaves.
+func FrontierContext(ctx context.Context, net tree.Net, opts Options) ([]pareto.Item[*tree.Tree], error) {
 	n := net.Degree()
 	if n == 0 {
 		return nil, fmt.Errorf("ks: empty net")
@@ -64,7 +72,7 @@ func Frontier(net tree.Net, opts Options) ([]pareto.Item[*tree.Tree], error) {
 	for i := range pins {
 		pins[i] = i
 	}
-	items, err := route(net, pins, leaf, opts, 0)
+	items, err := route(ctx, net, pins, leaf, opts, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -73,7 +81,10 @@ func Frontier(net tree.Net, opts Options) ([]pareto.Item[*tree.Tree], error) {
 
 // route solves the sub-net given by pin indices (pins[0] is the
 // sub-source) and returns its Pareto set with trees in the parent frame.
-func route(net tree.Net, pins []int, leaf int, opt Options, depth int) ([]pareto.Item[*tree.Tree], error) {
+func route(ctx context.Context, net tree.Net, pins []int, leaf int, opt Options, depth int) ([]pareto.Item[*tree.Tree], error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if len(pins) <= leaf {
 		sub := tree.Net{Pins: make([]geom.Point, len(pins))}
 		for i, p := range pins {
@@ -92,7 +103,7 @@ func route(net tree.Net, pins []int, leaf int, opt Options, depth int) ([]pareto
 			}
 		}
 		if items == nil {
-			items, err = dw.Frontier(sub, dw.DefaultOptions())
+			items, err = dw.FrontierContext(ctx, sub, dw.DefaultOptions())
 			if err != nil {
 				return nil, err
 			}
@@ -150,11 +161,11 @@ func route(net tree.Net, pins []int, leaf int, opt Options, depth int) ([]pareto
 	}
 	nearPins := append([]int{src}, nearSinks...)
 
-	s1, err := route(net, nearPins, leaf, opt, depth+1)
+	s1, err := route(ctx, net, nearPins, leaf, opt, depth+1)
 	if err != nil {
 		return nil, err
 	}
-	s2, err := route(net, farPins, leaf, opt, depth+1)
+	s2, err := route(ctx, net, farPins, leaf, opt, depth+1)
 	if err != nil {
 		return nil, err
 	}

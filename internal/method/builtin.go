@@ -1,0 +1,58 @@
+package method
+
+import (
+	"context"
+
+	"patlabor/internal/core"
+	"patlabor/internal/dw"
+	"patlabor/internal/ks"
+	"patlabor/internal/pareto"
+	"patlabor/internal/pd"
+	"patlabor/internal/rsma"
+	"patlabor/internal/rsmt"
+	"patlabor/internal/salt"
+	"patlabor/internal/tree"
+	"patlabor/internal/ysd"
+)
+
+// PatLabor returns the PatLabor method routed with the given core options.
+// The registry's built-in "patlabor" entry uses the zero Options (paper
+// defaults); callers with a custom λ, iteration budget, table or policy
+// construct their own instance.
+func PatLabor(opts core.Options) Method {
+	return NewFunc("PatLabor", func(ctx context.Context, net tree.Net) ([]pareto.Item[*tree.Tree], error) {
+		return core.RouteContext(ctx, net, opts)
+	})
+}
+
+// singleTree adapts a one-tree constructor (RSMT, RSMA) into a method
+// whose frontier is that single tree.
+func singleTree(name string, build func(tree.Net) *tree.Tree) Method {
+	return NewFunc(name, func(_ context.Context, net tree.Net) ([]pareto.Item[*tree.Tree], error) {
+		t := build(net)
+		return []pareto.Item[*tree.Tree]{{Sol: t.Sol(), Val: t}}, nil
+	})
+}
+
+// The built-in entrants: PatLabor plus every baseline the paper compares
+// against. Aliases give the CLIs their historical short names.
+func init() {
+	Register(PatLabor(core.Options{}))
+	Register(NewFunc("SALT", func(_ context.Context, net tree.Net) ([]pareto.Item[*tree.Tree], error) {
+		return salt.Sweep(net, nil), nil
+	}))
+	Register(NewFunc("YSD", func(ctx context.Context, net tree.Net) ([]pareto.Item[*tree.Tree], error) {
+		return ysd.SweepContext(ctx, net, nil)
+	}))
+	Register(NewFunc("PD-II", func(_ context.Context, net tree.Net) ([]pareto.Item[*tree.Tree], error) {
+		return pd.Sweep(net, nil), nil
+	}), "pd")
+	Register(NewFunc("Pareto-KS", func(ctx context.Context, net tree.Net) ([]pareto.Item[*tree.Tree], error) {
+		return ks.FrontierContext(ctx, net, ks.Options{})
+	}), "ks")
+	Register(NewFunc("Pareto-DW", func(ctx context.Context, net tree.Net) ([]pareto.Item[*tree.Tree], error) {
+		return dw.FrontierContext(ctx, net, dw.DefaultOptions())
+	}), "dw", "exact")
+	Register(singleTree("RSMT", rsmt.Tree))
+	Register(singleTree("RSMA", rsma.Tree))
+}

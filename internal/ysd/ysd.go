@@ -15,6 +15,7 @@
 package ysd
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -62,10 +63,16 @@ func ConvexHull[T any](items []pareto.Item[T]) []pareto.Item[T] {
 // SmallSweep returns every solution the oracle YSD can produce for a
 // small-degree net across all β: the convex hull of the exact frontier.
 func SmallSweep(net tree.Net) ([]pareto.Item[*tree.Tree], error) {
+	return SmallSweepContext(context.Background(), net)
+}
+
+// SmallSweepContext is SmallSweep with cancellation threaded into the
+// exact DP.
+func SmallSweepContext(ctx context.Context, net tree.Net) ([]pareto.Item[*tree.Tree], error) {
 	if net.Degree() > SmallDegree {
 		return nil, fmt.Errorf("ysd: degree %d exceeds SmallDegree", net.Degree())
 	}
-	items, err := dw.Frontier(net, dw.DefaultOptions())
+	items, err := dw.FrontierContext(ctx, net, dw.DefaultOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -78,18 +85,21 @@ func Build(net tree.Net, beta float64) (*tree.Tree, error) {
 	for i := range pins {
 		pins[i] = i
 	}
-	return route(net, pins, beta, 0)
+	return route(context.Background(), net, pins, beta, 0)
 }
 
 // route solves the sub-net of `net` given by pin indices `pins` (pins[0]
 // is the sub-source), returning a tree in the parent net's pin frame.
-func route(net tree.Net, pins []int, beta float64, depth int) (*tree.Tree, error) {
+func route(ctx context.Context, net tree.Net, pins []int, beta float64, depth int) (*tree.Tree, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	sub := tree.Net{Pins: make([]geom.Point, len(pins))}
 	for i, p := range pins {
 		sub.Pins[i] = net.Pins[p]
 	}
 	if len(pins) <= LeafDegree {
-		items, err := dw.Frontier(sub, dw.DefaultOptions())
+		items, err := dw.FrontierContext(ctx, sub, dw.DefaultOptions())
 		if err != nil {
 			return nil, err
 		}
@@ -127,11 +137,11 @@ func route(net tree.Net, pins []int, beta float64, depth int) (*tree.Tree, error
 	mid := len(ord) / 2
 	left := append([]int{pins[0]}, ord[:mid]...)
 	right := append([]int{pins[0]}, ord[mid:]...)
-	tl, err := route(net, left, beta, depth+1)
+	tl, err := route(ctx, net, left, beta, depth+1)
 	if err != nil {
 		return nil, err
 	}
-	trr, err := route(net, right, beta, depth+1)
+	trr, err := route(ctx, net, right, beta, depth+1)
 	if err != nil {
 		return nil, err
 	}
@@ -152,15 +162,25 @@ func DefaultBetas() []float64 {
 // trees. For small nets the exact hull is returned directly (a dense β
 // sweep converges to it).
 func Sweep(net tree.Net, betas []float64) ([]pareto.Item[*tree.Tree], error) {
+	return SweepContext(context.Background(), net, betas)
+}
+
+// SweepContext is Sweep with cancellation: the context is checked per β
+// and threaded into the recursion and its exact-DP leaves.
+func SweepContext(ctx context.Context, net tree.Net, betas []float64) ([]pareto.Item[*tree.Tree], error) {
 	if net.Degree() <= SmallDegree {
-		return SmallSweep(net)
+		return SmallSweepContext(ctx, net)
 	}
 	if len(betas) == 0 {
 		betas = DefaultBetas()
 	}
+	pins := make([]int, net.Degree())
+	for i := range pins {
+		pins[i] = i
+	}
 	set := &pareto.Set[*tree.Tree]{}
 	for _, b := range betas {
-		t, err := Build(net, b)
+		t, err := route(ctx, net, pins, b, 0)
 		if err != nil {
 			return nil, err
 		}

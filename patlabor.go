@@ -19,7 +19,10 @@
 package patlabor
 
 import (
+	"context"
 	"fmt"
+	"strings"
+	"sync"
 
 	"patlabor/internal/bookshelf"
 	"patlabor/internal/core"
@@ -29,6 +32,7 @@ import (
 	"patlabor/internal/geom"
 	"patlabor/internal/ks"
 	"patlabor/internal/lut"
+	"patlabor/internal/method"
 	"patlabor/internal/pareto"
 	"patlabor/internal/pd"
 	"patlabor/internal/policy"
@@ -85,15 +89,77 @@ type PolicyParams = policy.Params
 // otherwise. Candidates are ordered by increasing wirelength (and thus
 // decreasing delay).
 func Route(net Net, opts Options) ([]Candidate, error) {
+	return RouteContext(context.Background(), net, opts)
+}
+
+// RouteContext is Route under a context: cancelling ctx (or letting its
+// deadline expire) aborts the exact DP at subset granularity and the local
+// search at iteration granularity.
+func RouteContext(ctx context.Context, net Net, opts Options) ([]Candidate, error) {
 	copts, err := prepareOptions(opts)
 	if err != nil {
 		return nil, err
 	}
-	return core.Route(net, copts)
+	return core.RouteContext(ctx, net, copts)
 }
 
-// prepareOptions resolves the public Options into the core configuration,
-// loading the lookup-table file (if any) exactly once.
+// Methods lists the registered routing methods (primary names, in
+// registration order): PatLabor plus every baseline. Any of them — or
+// their aliases such as "pd", "ks", "dw" — can be passed to RouteWith.
+func Methods() []string { return method.Names() }
+
+// RouteWith routes the net with the named registry method (case-
+// insensitive; see Methods). The "patlabor" method honours opts; baselines
+// route with their own defaults and ignore opts.
+func RouteWith(ctx context.Context, name string, net Net, opts Options) ([]Candidate, error) {
+	if name == "" || method.Key(name) == "patlabor" {
+		return RouteContext(ctx, net, opts)
+	}
+	m, ok := method.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("patlabor: unknown method %q (have %s)",
+			name, strings.Join(method.Names(), ", "))
+	}
+	return m.Frontier(ctx, net)
+}
+
+// tableCache memoizes lookup-table files by path: loading and eager
+// generation are expensive, and Route may be called per net, so each path
+// is read and resolved exactly once per process.
+var tableCache struct {
+	mu     sync.Mutex
+	tables map[string]*lut.Table
+}
+
+// loadTable returns the resolved table for path, reading the file on the
+// first call only. The mutex covers the load, so concurrent first calls
+// do not read the file twice.
+func loadTable(path string) (*lut.Table, error) {
+	tableCache.mu.Lock()
+	defer tableCache.mu.Unlock()
+	if t, ok := tableCache.tables[path]; ok {
+		return t, nil
+	}
+	t := lut.New()
+	if err := t.LoadFile(path); err != nil {
+		return nil, fmt.Errorf("patlabor: loading table: %w", err)
+	}
+	// Merge the built-in eager degrees underneath.
+	for d := 2; d <= lut.DefaultEagerDegree; d++ {
+		if !t.Covers(d) {
+			if err := t.Generate(d, 0); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if tableCache.tables == nil {
+		tableCache.tables = map[string]*lut.Table{}
+	}
+	tableCache.tables[path] = t
+	return t, nil
+}
+
+// prepareOptions resolves the public Options into the core configuration.
 func prepareOptions(opts Options) (core.Options, error) {
 	copts := core.Options{
 		Lambda:     opts.Lambda,
@@ -101,17 +167,9 @@ func prepareOptions(opts Options) (core.Options, error) {
 		Params:     opts.PolicyParams,
 	}
 	if opts.TablePath != "" {
-		t := lut.New()
-		if err := t.LoadFile(opts.TablePath); err != nil {
-			return core.Options{}, fmt.Errorf("patlabor: loading table: %w", err)
-		}
-		// Merge the built-in eager degrees underneath.
-		for d := 2; d <= lut.DefaultEagerDegree; d++ {
-			if !t.Covers(d) {
-				if err := t.Generate(d, 0); err != nil {
-					return core.Options{}, err
-				}
-			}
+		t, err := loadTable(opts.TablePath)
+		if err != nil {
+			return core.Options{}, err
 		}
 		copts.Table = t
 	}
@@ -165,7 +223,18 @@ func KSFrontier(net Net) ([]Candidate, error) {
 // cumulative statistics (cache hit rates, per-degree latency histograms)
 // construct an Engine directly.
 func RouteAll(nets []Net, opts Options, workers int) ([][]Candidate, error) {
-	return engine.RouteAll(nets, engineOptions(opts, workers))
+	return RouteAllContext(context.Background(), nets, opts, workers)
+}
+
+// RouteAllContext is RouteAll under a context: cancellation stops
+// dispatching new nets, aborts in-flight nets at their next iteration
+// check, and returns ctx.Err() with nil results.
+func RouteAllContext(ctx context.Context, nets []Net, opts Options, workers int) ([][]Candidate, error) {
+	eopts, err := engineOptions(opts, workers)
+	if err != nil {
+		return nil, err
+	}
+	return engine.RouteAll(ctx, nets, eopts)
 }
 
 // Engine is the reusable batch router: it keeps the resolved options and
@@ -178,17 +247,31 @@ type EngineStats = engine.Stats
 // NewEngine builds a batch engine routing on the given worker-pool size
 // (<=0 uses GOMAXPROCS).
 func NewEngine(opts Options, workers int) (*Engine, error) {
-	return engine.New(engineOptions(opts, workers))
+	eopts, err := engineOptions(opts, workers)
+	if err != nil {
+		return nil, err
+	}
+	return engine.New(eopts)
 }
 
-func engineOptions(opts Options, workers int) engine.Options {
-	return engine.Options{
+// engineOptions resolves public options for the batch engine, sharing the
+// process-wide memoized table cache (the engine would otherwise re-read
+// the file per NewEngine call).
+func engineOptions(opts Options, workers int) (engine.Options, error) {
+	eopts := engine.Options{
 		Workers:    workers,
 		Lambda:     opts.Lambda,
 		Iterations: opts.Iterations,
-		TablePath:  opts.TablePath,
 		Params:     opts.PolicyParams,
 	}
+	if opts.TablePath != "" {
+		t, err := loadTable(opts.TablePath)
+		if err != nil {
+			return engine.Options{}, err
+		}
+		eopts.Table = t
+	}
+	return eopts, nil
 }
 
 // ElmoreParams are the RC parameters of the Elmore delay model (see

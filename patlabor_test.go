@@ -1,9 +1,14 @@
 package patlabor
 
 import (
+	"context"
+	"errors"
 	"math/rand"
+	"os"
 	"path/filepath"
 	"testing"
+
+	"patlabor/internal/lut"
 )
 
 func TestRouteSmallPublicAPI(t *testing.T) {
@@ -148,5 +153,120 @@ func TestElmorePublicAPI(t *testing.T) {
 		if d := ElmoreDelay(cands[idx].Val, p); d <= 0 {
 			t.Fatalf("Elmore delay = %v", d)
 		}
+	}
+}
+
+func TestMethodsAndRouteWith(t *testing.T) {
+	names := Methods()
+	for _, want := range []string{"patlabor", "salt", "ysd", "pd-ii", "pareto-ks", "pareto-dw", "rsmt", "rsma"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("Methods() = %v, missing %q", names, want)
+		}
+	}
+	net := NewNet(Pt(0, 0), Pt(40, 10), Pt(35, -20), Pt(-15, 25))
+	ctx := context.Background()
+
+	got, err := RouteWith(ctx, "patlabor", net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Route(net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("RouteWith(patlabor) %d candidates, Route %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Sol != want[i].Sol {
+			t.Fatalf("RouteWith(patlabor) differs at %d", i)
+		}
+	}
+
+	saltGot, err := RouteWith(ctx, "SALT", net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	saltWant := SALTSweep(net, nil)
+	if len(saltGot) != len(saltWant) {
+		t.Fatalf("RouteWith(SALT) %d candidates, SALTSweep %d", len(saltGot), len(saltWant))
+	}
+	for i := range saltWant {
+		if saltGot[i].Sol != saltWant[i].Sol {
+			t.Fatalf("RouteWith(SALT) differs at %d", i)
+		}
+	}
+
+	if _, err := RouteWith(ctx, "no-such-method", net, Options{}); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := RouteWith(cancelled, "ysd", net, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled RouteWith: err = %v", err)
+	}
+}
+
+// TestTablePathLoadedOnce is the regression test for the per-call table
+// reload: the file must be read on the first Route and never again —
+// deleting it between calls must not matter, and the second Route must
+// return the same frontier.
+func TestTablePathLoadedOnce(t *testing.T) {
+	table := lut.New()
+	if err := table.Generate(4, 0); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "deg4.gob")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := table.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	net := NewNet(Pt(0, 0), Pt(17, 4), Pt(3, 21), Pt(11, 9))
+	first, err := Route(net, Options{TablePath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	// The file is gone; only the memoized table can answer now.
+	second, err := Route(net, Options{TablePath: path})
+	if err != nil {
+		t.Fatalf("second Route re-read the deleted table file: %v", err)
+	}
+	if len(first) != len(second) {
+		t.Fatalf("frontiers differ across memoized calls: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i].Sol != second[i].Sol {
+			t.Fatalf("memoized frontier differs at %d", i)
+		}
+	}
+	// The engine path must share the same cache — the file is deleted, so
+	// constructing an engine on the path only works via the memo.
+	if _, err := NewEngine(Options{TablePath: path}, 2); err != nil {
+		t.Fatalf("NewEngine re-read the deleted table file: %v", err)
+	}
+}
+
+func TestRouteAllContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	nets := []Net{NewNet(Pt(0, 0), Pt(9, 9), Pt(4, 1))}
+	if _, err := RouteAllContext(ctx, nets, Options{}, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
