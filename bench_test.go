@@ -289,6 +289,36 @@ func BenchmarkLUTQuery(b *testing.B) {
 	}
 }
 
+// BenchmarkLocalSearch measures the policy-guided local search of §V on
+// clustered large-degree nets — the path that dominates batch routing time
+// on real netlists. It cycles through a small pool of nets per degree so no
+// single net's frontier shape dominates; each Route carries its own
+// sub-frontier memo (windows recur across iterations within one search),
+// which is the cold-batch case — cross-net reuse only makes the engine
+// faster still. scripts/bench.sh pr4 records it in BENCH_PR4.json.
+func BenchmarkLocalSearch(b *testing.B) {
+	for _, n := range []int{16, 32, 64} {
+		b.Run(fmt.Sprintf("degree=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(int64(200 + n)))
+			nets := make([]tree.Net, 4)
+			for i := range nets {
+				nets[i] = netgen.Clustered(rng, n, 100000, 4000)
+			}
+			// Warm the shared lookup table outside the timed region.
+			if _, err := core.Route(nets[0], core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Route(nets[i%len(nets)], core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkPatLaborLargeNet(b *testing.B) {
 	net := benchNet(30, 30)
 	b.ResetTimer()

@@ -5,16 +5,20 @@
 //
 //	patlabor -nets nets.txt [-method patlabor|salt|ysd|pd|ks|dw|rsmt|rsma]
 //	         [-lambda 9] [-table tables.gob] [-workers N] [-timeout 30s]
-//	         [-stats] [-v] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	         [-nocache] [-stats] [-v]
+//	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Every method routes the whole file as one batch on a worker pool
 // (-workers, default GOMAXPROCS; output order and content are identical at
 // any worker count). -method picks any entrant of the method registry —
 // patlabor (default), the baselines, or an alias like dw/exact. -timeout
 // bounds the whole batch: when it expires, in-flight nets abort at their
-// next iteration check and the command fails. -stats prints the engine's
+// next iteration check and the command fails. -nocache disables the
+// sub-frontier memo and the batch net dedup (output is byte-identical
+// either way; the flag exists for A-B timing). -stats prints the engine's
 // counters — per-method nets routed, lookup-table hit rate and
-// symbolic-evaluation savings, per-degree latency — to stderr. With -v
+// symbolic-evaluation savings, sub-frontier memo and net-dedup hit rates,
+// per-degree latency — to stderr. With -v
 // each solution also prints its tree edges. -cpuprofile/-memprofile write
 // runtime/pprof profiles of the routing run for `go tool pprof`.
 package main
@@ -41,6 +45,7 @@ func main() {
 	workers := flag.Int("workers", 0, "worker-pool size for batch routing (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 0, "abort the batch after this duration (0 = no limit)")
 	stats := flag.Bool("stats", false, "print batch-engine statistics to stderr")
+	nocache := flag.Bool("nocache", false, "disable the sub-frontier memo and batch net dedup (output identical)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -68,6 +73,7 @@ func main() {
 		Method:    *method,
 		Lambda:    *lambda,
 		TablePath: *table,
+		NoCache:   *nocache,
 	})
 	if err != nil {
 		fatal(err)

@@ -23,6 +23,7 @@ import (
 
 	"patlabor/internal/dw"
 	"patlabor/internal/geom"
+	"patlabor/internal/hanan"
 	"patlabor/internal/lut"
 	"patlabor/internal/pareto"
 	"patlabor/internal/policy"
@@ -51,6 +52,15 @@ type Options struct {
 	// RandomSelection replaces the policy with a deterministic
 	// round-robin pin chunking (for ablation of π).
 	RandomSelection bool
+	// Cache optionally shares a sub-frontier memo across Route calls (the
+	// batch engine passes one per engine so windows recur across nets).
+	// nil gives each local search a private memo unless NoCache is set.
+	Cache *SubCache
+	// NoCache disables all result caching: the sub-frontier memo and the
+	// unchanged-base rebalance skip. Results are byte-identical either
+	// way; NoCache exists to prove that (and for memory-constrained
+	// runs).
+	NoCache bool
 }
 
 // DefaultLambda is the paper's λ = 9.
@@ -129,9 +139,18 @@ func localSearch(ctx context.Context, net tree.Net, lambda int, opts Options) ([
 			iters = 1
 		}
 	}
+	// One evaluator serves every tree evaluation of this search — policy
+	// scoring, rebuild compaction, Steinerisation, rebalancing — so the
+	// steady state allocates only the candidate trees themselves.
+	ev := tree.NewEvaluator()
+	cache := opts.Cache
+	if cache == nil && !opts.NoCache {
+		cache = NewSubCache(0)
+	}
+	var ks keyScratch
 	t0 := rsmt.Tree(net)
 	set := &pareto.Set[*tree.Tree]{}
-	set.Add(t0.Sol(), t0)
+	set.Add(ev.Sol(t0), t0)
 
 	// The descent base: the tree whose worst pins the next iteration
 	// regenerates. Starting from T0 and advancing to the best-delay
@@ -141,15 +160,28 @@ func localSearch(ctx context.Context, net tree.Net, lambda int, opts Options) ([
 	// element would rebuild T0 (which stays Pareto-optimal as the min-wire
 	// point) forever and never reach the low-delay end of the frontier.
 	base := t0
-	// SALT-style post-processing of the seed (§V-B): the rebalanced
-	// variants of T0 give the frontier its shallow-tree backbone, which
-	// later rebuilds refine; without them the first iterations explore
-	// only around the RSMT end.
-	if !opts.NoRefine {
-		for _, eps := range rebalanceGrid {
-			v := salt.Rebalance(t0, net, eps)
-			set.Add(v.Sol(), v)
+	// rebalance runs the SALT-style ε grid over t (§V-B "post-processing
+	// techniques as in SALT"). When t is structurally identical to the
+	// last tree the grid ran on, the pass is skipped: Rebalance is
+	// deterministic and pareto.Set.Add rejects duplicate solutions, so
+	// rerunning it on an unchanged base cannot change the set.
+	var rebalanced *tree.Tree
+	rebalance := func(t *tree.Tree) {
+		if !opts.NoCache && rebalanced != nil && treesEqual(t, rebalanced) {
+			return
 		}
+		for _, eps := range rebalanceGrid {
+			v := salt.RebalanceWith(t, net, eps, ev)
+			set.Add(ev.Sol(v), v)
+		}
+		rebalanced = t
+	}
+	// SALT-style post-processing of the seed: the rebalanced variants of
+	// T0 give the frontier its shallow-tree backbone, which later rebuilds
+	// refine; without them the first iterations explore only around the
+	// RSMT end.
+	if !opts.NoRefine {
+		rebalance(t0)
 	}
 	for it := 0; it < iters; it++ {
 		if err := ctx.Err(); err != nil {
@@ -163,26 +195,26 @@ func localSearch(ctx context.Context, net tree.Net, lambda int, opts Options) ([
 			if opts.Params != nil {
 				params = *opts.Params
 			}
-			sel = policy.Select(net, base, lambda-1, params)
+			sel = policy.SelectWith(net, base, lambda-1, params, ev)
 		}
 		if len(sel) == 0 {
 			break
 		}
-		subFront, err := subFrontier(ctx, net, sel, opts)
+		subFront, err := subFrontier(ctx, net, sel, opts, cache, &ks)
 		if err != nil {
 			return nil, err
 		}
 		var next *tree.Tree
 		var nextD int64
 		for _, st := range subFront {
-			cand, err := rebuild(net, base, sel, st.Val)
+			cand, err := rebuildWith(net, base, sel, st.Val, ev)
 			if err != nil {
 				return nil, err
 			}
 			if !opts.NoRefine {
-				cand.Steinerize()
+				cand.SteinerizeWith(ev)
 			}
-			sol := cand.Sol()
+			sol := ev.Sol(cand)
 			set.Add(sol, cand)
 			if next == nil || sol.D < nextD {
 				next, nextD = cand, sol.D
@@ -190,9 +222,9 @@ func localSearch(ctx context.Context, net tree.Net, lambda int, opts Options) ([
 			// Wirelength-greedy variant (may trade delay for wirelength).
 			if !opts.NoRefine {
 				v := cand.Clone()
-				if v.RelocateSteiners() {
-					v.Steinerize()
-					set.Add(v.Sol(), v)
+				if v.RelocateSteinersWith(ev) {
+					v.SteinerizeWith(ev)
+					set.Add(ev.Sol(v), v)
 				}
 			}
 		}
@@ -200,25 +232,35 @@ func localSearch(ctx context.Context, net tree.Net, lambda int, opts Options) ([
 			break
 		}
 		base = next
-		// SALT-style post-processing (§V-B: "post-processing techniques
-		// as in SALT"): globally rebalanced variants of the current base
-		// repair paths that the local window could not see — rebuilt
-		// subtrees may intersect the other n−λ pins' routing.
+		// Rebalanced variants of the current base repair paths that the
+		// local window could not see — rebuilt subtrees may intersect the
+		// other n−λ pins' routing.
 		if !opts.NoRefine {
-			for _, eps := range rebalanceGrid {
-				v := salt.Rebalance(base, net, eps)
-				set.Add(v.Sol(), v)
-			}
+			rebalance(base)
 		}
 	}
 	return set.Items(), nil
+}
+
+// treesEqual reports structural equality: same nodes, parents and root.
+func treesEqual(a, b *tree.Tree) bool {
+	if a.Root != b.Root || len(a.Nodes) != len(b.Nodes) {
+		return false
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i] != b.Nodes[i] || a.Parent[i] != b.Parent[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // rebalanceGrid is the ε grid of the SALT-style post-processing passes.
 var rebalanceGrid = []float64{0, 0.02, 0.05, 0.1, 0.15, 0.25, 0.4, 0.6, 0.9, 1.3, 2}
 
 // chunkSelection deterministically rotates through the sinks (the
-// random-selection ablation baseline).
+// random-selection ablation baseline). The k window indices
+// 1+(start+i)%sinks for i < k ≤ sinks are distinct by construction.
 func chunkSelection(n, k, round int) []int {
 	sinks := n - 1
 	if k > sinks {
@@ -229,29 +271,72 @@ func chunkSelection(n, k, round int) []int {
 	for i := 0; i < k; i++ {
 		sel = append(sel, 1+(start+i)%sinks)
 	}
-	seen := map[int]bool{}
-	out := sel[:0]
-	for _, s := range sel {
-		if !seen[s] {
-			seen[s] = true
-			out = append(out, s)
-		}
-	}
-	return out
+	return sel
 }
 
 // subFrontier computes the exact Pareto frontier of source + selected
-// pins, with trees relabelled into the parent net's pin frame.
-func subFrontier(ctx context.Context, net tree.Net, sel []int, opts Options) ([]pareto.Item[*tree.Tree], error) {
+// pins, with trees relabelled into the parent net's pin frame. With a
+// cache, the window is answered from the memo when an equivalent window
+// (same canonical form for table-covered degrees, same translation class
+// otherwise) was solved before; see SubCache for why each key level is
+// byte-exact.
+func subFrontier(ctx context.Context, net tree.Net, sel []int, opts Options, cache *SubCache, ks *keyScratch) ([]pareto.Item[*tree.Tree], error) {
 	pins := append([]int{0}, sel...)
 	sub := tree.Net{Pins: make([]geom.Point, len(pins))}
 	for i, p := range pins {
 		sub.Pins[i] = net.Pins[p]
 	}
+	if cache == nil {
+		items, err := small(ctx, sub, opts)
+		if err != nil {
+			return nil, err
+		}
+		for _, it := range items {
+			if err := it.Val.RelabelPins(pins); err != nil {
+				return nil, err
+			}
+		}
+		return items, nil
+	}
+	table := opts.Table
+	if table == nil {
+		table = lut.Default()
+	}
+	canonical := table.Covers(sub.Degree())
+	r, tf := ks.appendWindowKey(sub, canonical)
+	if e := cache.lookup(ks.buf); e != nil {
+		iso, err := windowIsometry(e, sub, r, tf)
+		if err == nil {
+			cache.hits.Add(1)
+			out := make([]pareto.Item[*tree.Tree], len(e.items))
+			for i, it := range e.items {
+				v := iso.ApplyTree(it.Val)
+				if rerr := v.RelabelPins(pins); rerr != nil {
+					return nil, rerr
+				}
+				out[i] = pareto.Item[*tree.Tree]{Sol: it.Sol, Val: v}
+			}
+			return out, nil
+		}
+		// A matching key whose isometry cannot be derived would be a key
+		// collision; recompute rather than trust the entry.
+	}
+	cache.misses.Add(1)
 	items, err := small(ctx, sub, opts)
 	if err != nil {
 		return nil, err
 	}
+	stored := make([]pareto.Item[*tree.Tree], len(items))
+	for i, it := range items {
+		stored[i] = pareto.Item[*tree.Tree]{Sol: it.Sol, Val: it.Val.Clone()}
+	}
+	cache.store(ks.buf, &subEntry{
+		canonical: canonical,
+		src:       sub.Pins[0],
+		ranks:     r,
+		tf:        tf,
+		items:     stored,
+	})
 	for _, it := range items {
 		if err := it.Val.RelabelPins(pins); err != nil {
 			return nil, err
@@ -260,39 +345,51 @@ func subFrontier(ctx context.Context, net tree.Net, sel []int, opts Options) ([]
 	return items, nil
 }
 
+// windowIsometry derives the map from a cache entry's window onto the
+// current window sub.
+func windowIsometry(e *subEntry, sub tree.Net, r hanan.Ranks, tf hanan.Transform) (*hanan.Isometry, error) {
+	if e.canonical {
+		return hanan.NewIsometry(e.ranks, e.tf, r, tf)
+	}
+	return hanan.Translation(sub.Pins[0].Sub(e.src)), nil
+}
+
 // StepHypervolume executes one local-search step on base with the given
 // pin selection and returns the hypervolume (w.r.t. ref) of the Pareto set
 // of {base} ∪ rebuilt candidates. It is the selection-quality signal the
 // policy trainer optimises (examples/training).
 func StepHypervolume(net tree.Net, base *tree.Tree, sel []int, ref pareto.Sol) (float64, error) {
-	subFront, err := subFrontier(context.Background(), net, sel, Options{})
+	subFront, err := subFrontier(context.Background(), net, sel, Options{}, nil, nil)
 	if err != nil {
 		return 0, err
 	}
-	sols := []pareto.Sol{base.Sol()}
+	ev := tree.GetEvaluator()
+	defer tree.PutEvaluator(ev)
+	sols := []pareto.Sol{ev.Sol(base)}
 	for _, st := range subFront {
-		cand, err := rebuild(net, base, sel, st.Val)
+		cand, err := rebuildWith(net, base, sel, st.Val, ev)
 		if err != nil {
 			return 0, err
 		}
-		cand.Steinerize()
-		sols = append(sols, cand.Sol())
+		cand.SteinerizeWith(ev)
+		sols = append(sols, ev.Sol(cand))
 	}
 	return pareto.Hypervolume(sols, ref), nil
 }
 
-// rebuild clones base, detaches the selected pins (demoting their nodes to
-// Steiner points so downstream subtrees stay connected), grafts the
-// regenerated subtree at the root, and compacts.
-func rebuild(net tree.Net, base *tree.Tree, sel []int, sub *tree.Tree) (*tree.Tree, error) {
+// rebuildWith clones base, detaches the selected pins (demoting their
+// nodes to Steiner points so downstream subtrees stay connected), grafts
+// the regenerated subtree at the root, and compacts, evaluating through
+// ev's scratch.
+func rebuildWith(net tree.Net, base *tree.Tree, sel []int, sub *tree.Tree, ev *tree.Evaluator) (*tree.Tree, error) {
 	out := base.Clone()
 	for _, pin := range sel {
-		if err := out.RemovePin(pin); err != nil {
+		if err := out.RemovePinWith(pin, ev); err != nil {
 			return nil, err
 		}
 	}
 	out.Graft(sub, out.Root)
-	out.Compact()
+	out.CompactWith(ev)
 	if err := out.Validate(net); err != nil {
 		return nil, fmt.Errorf("core: rebuilt tree invalid: %w", err)
 	}

@@ -212,3 +212,122 @@ func TestStepHypervolume(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestChunkSelectionDistinct(t *testing.T) {
+	for _, tc := range []struct{ n, k, round int }{
+		{10, 9, 0},     // k == sinks
+		{10, 9, 1},     // wraps fully
+		{10, 8, 1},     // wraps mid-window
+		{10, 1, 5},     // single pin
+		{5, 8, 0},      // k clamped to sinks
+		{5, 8, 3},      // clamped and rotated
+		{100, 8, 12},   // large net, deep round
+		{100, 8, 1000}, // round far beyond one sweep
+	} {
+		sel := chunkSelection(tc.n, tc.k, tc.round)
+		wantLen := tc.k
+		if wantLen > tc.n-1 {
+			wantLen = tc.n - 1
+		}
+		if len(sel) != wantLen {
+			t.Fatalf("chunkSelection(%d,%d,%d) = %v, want %d pins", tc.n, tc.k, tc.round, sel, wantLen)
+		}
+		seen := map[int]bool{}
+		for _, p := range sel {
+			if p < 1 || p >= tc.n {
+				t.Fatalf("chunkSelection(%d,%d,%d) selected invalid pin %d", tc.n, tc.k, tc.round, p)
+			}
+			if seen[p] {
+				t.Fatalf("chunkSelection(%d,%d,%d) = %v selects pin %d twice", tc.n, tc.k, tc.round, sel, p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+// sameItems asserts two routed frontiers are byte-identical: same
+// objective vectors in the same order realised by structurally identical
+// trees.
+func sameItems(t *testing.T, label string, a, b []pareto.Item[*tree.Tree]) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d items vs %d", label, len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Sol != b[i].Sol {
+			t.Fatalf("%s: item %d sol %v vs %v", label, i, a[i].Sol, b[i].Sol)
+		}
+		if !treesEqual(a[i].Val, b[i].Val) {
+			t.Fatalf("%s: item %d trees differ:\n%v\n%v", label, i, a[i].Val, b[i].Val)
+		}
+	}
+}
+
+// TestRouteCacheDifferential proves the sub-frontier memo and the
+// rebalance skip never change results: caches on vs Options.NoCache must
+// be byte-identical, for both window regimes (λ=5 windows answered by
+// the lookup table under canonical keys; default λ=9 windows answered by
+// the exact DP under translation keys).
+func TestRouteCacheDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(119))
+	for _, lambda := range []int{0, 5} {
+		for trial := 0; trial < 6; trial++ {
+			n := 12 + rng.Intn(30)
+			net := randNet(rng, n, 500)
+			cached, err := Route(net, Options{Lambda: lambda})
+			if err != nil {
+				t.Fatal(err)
+			}
+			plain, err := Route(net, Options{Lambda: lambda, NoCache: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameItems(t, "cached vs plain", cached, plain)
+			for _, it := range cached {
+				if err := it.Val.Validate(net); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// TestRouteSharedCacheAcrossNets routes translated and reflected copies
+// of one net through a shared SubCache: results must match per-net
+// no-cache routing exactly, and the shared memo must actually hit.
+func TestRouteSharedCacheAcrossNets(t *testing.T) {
+	rng := rand.New(rand.NewSource(120))
+	base := randNet(rng, 24, 400)
+	nets := []tree.Net{base}
+	// Translate.
+	shift := tree.Net{Pins: make([]geom.Point, len(base.Pins))}
+	for i, p := range base.Pins {
+		shift.Pins[i] = geom.Pt(p.X+1000, p.Y-77)
+	}
+	nets = append(nets, shift)
+	// Mirror in x (a fresh symmetry class member for canonical windows).
+	mirror := tree.Net{Pins: make([]geom.Point, len(base.Pins))}
+	for i, p := range base.Pins {
+		mirror.Pins[i] = geom.Pt(-p.X, p.Y)
+	}
+	nets = append(nets, mirror)
+
+	cache := NewSubCache(0)
+	for _, lambda := range []int{0, 5} {
+		for _, net := range nets {
+			cached, err := Route(net, Options{Lambda: lambda, Cache: cache})
+			if err != nil {
+				t.Fatal(err)
+			}
+			plain, err := Route(net, Options{Lambda: lambda, NoCache: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameItems(t, "shared cache vs plain", cached, plain)
+		}
+	}
+	hits, misses := cache.Counters()
+	if hits == 0 || misses == 0 {
+		t.Fatalf("shared cache counters hits=%d misses=%d, want both positive", hits, misses)
+	}
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+
+	"patlabor/internal/geom"
+	"patlabor/internal/hanan"
+	"patlabor/internal/pareto"
+	"patlabor/internal/tree"
+)
+
+// DefaultSubCacheEntries bounds a SubCache built with NewSubCache(0).
+// A cached window holds at most a frontier of small trees (degree ≤ λ),
+// so the default is generous while staying far below batch memory.
+const DefaultSubCacheEntries = 1 << 14
+
+// SubCache memoizes sub-frontier computations of the local search: the
+// exact Pareto frontier of a source-plus-selected-pins window. Windows
+// recur both across iterations of one net (the policy re-selects
+// overlapping windows as the base tree converges) and across nets of a
+// batch (the engine shares one SubCache over all workers), so the memo
+// converts repeated exact sub-net solves — the dominant cost of §V's
+// local search — into tree clones plus an isometry transform.
+//
+// Entries are keyed at the strongest level that stays byte-exact:
+//
+//   - Degrees the lookup table covers use the canonical symmetry key
+//     (hanan.AppendCanonicalKey plus canonically transformed gap
+//     lengths): lut.Table.Query is equivariant under the 8 dihedral
+//     symmetries, so any window in the same symmetry class yields the
+//     transformed-identical frontier.
+//
+//   - Degrees answered by the exact DP use a translation key (relative
+//     pin coordinates): the DP's tie-breaks are not reflection
+//     invariant, so only pure translates are guaranteed to reproduce
+//     its trees exactly.
+//
+// Stored items live in the frame of the first window that produced them
+// (pre-relabel, sub-net pin indices); hits clone and map them through
+// the hanan.Isometry connecting the two windows. A SubCache is safe for
+// concurrent use.
+type SubCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*subEntry
+
+	hits, misses atomic.Int64
+}
+
+// subEntry is one memoized window frontier, in the originating window's
+// concrete frame with sub-net pin indices.
+type subEntry struct {
+	canonical bool
+	// src anchors translation-keyed entries: the originating window's
+	// source position.
+	src geom.Point
+	// ranks/tf reconstruct the isometry for canonical-keyed entries.
+	ranks hanan.Ranks
+	tf    hanan.Transform
+	items []pareto.Item[*tree.Tree]
+}
+
+// NewSubCache returns an empty sub-frontier memo holding at most
+// capacity windows (<= 0 uses DefaultSubCacheEntries).
+func NewSubCache(capacity int) *SubCache {
+	if capacity <= 0 {
+		capacity = DefaultSubCacheEntries
+	}
+	return &SubCache{cap: capacity, entries: make(map[string]*subEntry)}
+}
+
+// Counters returns the cumulative hit/miss counts.
+func (c *SubCache) Counters() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// lookup returns the entry for key, or nil. It does not touch the
+// hit/miss counters — a found entry only becomes a hit once the isometry
+// derivation succeeds (subFrontier counts the outcome).
+func (c *SubCache) lookup(key []byte) *subEntry {
+	c.mu.Lock()
+	e := c.entries[string(key)]
+	c.mu.Unlock()
+	return e
+}
+
+// store inserts an entry under key. The first writer wins: concurrent
+// workers may compute the same window, and any of the results is an
+// equally valid representative (they are byte-identical up to the
+// entry's isometry frame). At capacity the map is flushed whole —
+// correctness never depends on residency, only speed does.
+func (c *SubCache) store(key []byte, e *subEntry) {
+	c.mu.Lock()
+	if len(c.entries) >= c.cap {
+		c.entries = make(map[string]*subEntry, c.cap)
+	}
+	if _, ok := c.entries[string(key)]; !ok {
+		c.entries[string(key)] = e
+	}
+	c.mu.Unlock()
+}
+
+// keyScratch holds the reusable buffers of sub-frontier key
+// construction, one per search.
+type keyScratch struct {
+	buf  []byte
+	h, v []int64
+}
+
+// appendWindowKey builds the memo key for a window: the canonical
+// symmetry key when the lookup table answers this degree, the
+// translation key otherwise (see SubCache). It returns the ranks and
+// canonicalizing transform when the canonical form was computed.
+func (ks *keyScratch) appendWindowKey(sub tree.Net, canonical bool) (hanan.Ranks, hanan.Transform) {
+	var r hanan.Ranks
+	var tf hanan.Transform
+	if canonical {
+		r = hanan.RanksOf(sub)
+		ks.buf = append(ks.buf[:0], 'C')
+		ks.buf, tf = hanan.AppendCanonicalKey(ks.buf, r.Pattern)
+		ks.h, ks.v = tf.ApplyLengthsInto(r.H, r.V, ks.h, ks.v)
+		for _, g := range ks.h {
+			ks.buf = binary.AppendVarint(ks.buf, g)
+		}
+		for _, g := range ks.v {
+			ks.buf = binary.AppendVarint(ks.buf, g)
+		}
+		return r, tf
+	}
+	ks.buf = append(ks.buf[:0], 'R', byte(sub.Degree()))
+	src := sub.Pins[0]
+	for _, p := range sub.Pins[1:] {
+		ks.buf = binary.AppendVarint(ks.buf, p.X-src.X)
+		ks.buf = binary.AppendVarint(ks.buf, p.Y-src.Y)
+	}
+	return r, tf
+}

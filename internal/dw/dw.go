@@ -28,7 +28,7 @@ import (
 	"context"
 	"fmt"
 	"math/bits"
-	"sort"
+	"slices"
 
 	"patlabor/internal/geom"
 	"patlabor/internal/hanan"
@@ -140,7 +140,23 @@ type computation struct {
 	boundaryPos []int
 	// S[q] maps grid node -> entry indices (canonical frontier order).
 	S [][][]int32
+
+	// Per-subset scratch, reused across the 2^m DP steps (the DP runs
+	// once per local-search window, so these appends dominated the
+	// router's allocation profile before they were hoisted here).
+	insideBuf []int      // insideNodes result
+	splitsBuf []int      // splits / boundarySplits result
+	msBuf     []bdMember // boundarySplits members
+	srcsBuf   []int      // extend's non-empty source nodes
+	// seenStamp/seenGen replace boundarySplits' per-call map: a submask is
+	// "seen" when its stamp equals the current generation.
+	seenStamp []int32
+	seenGen   int32
 }
+
+// bdMember is one sink of a boundary-split enumeration with its position
+// in the clockwise boundary walk.
+type bdMember struct{ s, pos int }
 
 func newComputation(net tree.Net, opts Options) (*computation, error) {
 	n := net.Degree()
@@ -283,12 +299,11 @@ func (c *computation) run(ctx context.Context) ([]int32, error) {
 	for q := 1; q <= full; q++ {
 		order = append(order, q)
 	}
-	sort.Slice(order, func(i, j int) bool {
-		bi, bj := bits.OnesCount(uint(order[i])), bits.OnesCount(uint(order[j]))
-		if bi != bj {
-			return bi < bj
+	slices.SortFunc(order, func(a, b int) int {
+		if ba, bb := bits.OnesCount(uint(a)), bits.OnesCount(uint(b)); ba != bb {
+			return ba - bb
 		}
-		return order[i] < order[j]
+		return a - b
 	})
 
 	for _, q := range order {
@@ -341,13 +356,14 @@ func (c *computation) bbox(q int) (ilo, jlo, ihi, jhi int) {
 }
 
 // insideNodes returns the unpruned grid nodes inside the rank bounding box
-// of q (all unpruned nodes when Lemma 3 is disabled).
+// of q (all unpruned nodes when Lemma 3 is disabled). The result aliases
+// a scratch buffer valid until the next call.
 func (c *computation) insideNodes(q int) []int {
 	if !c.opts.ProjectOutside {
 		return c.nodes
 	}
 	ilo, jlo, ihi, jhi := c.bbox(q)
-	var out []int
+	out := c.insideBuf[:0]
 	for j := jlo; j <= jhi; j++ {
 		for i := ilo; i <= ihi; i++ {
 			nd := c.grid.Node(i, j)
@@ -356,6 +372,7 @@ func (c *computation) insideNodes(q int) []int {
 			}
 		}
 	}
+	c.insideBuf = out
 	return out
 }
 
@@ -392,12 +409,13 @@ func (c *computation) splits(q int) []int {
 	if c.opts.BoundarySplits && c.allOnBoundary(q) {
 		return c.boundarySplits(q, low)
 	}
-	var out []int
+	out := c.splitsBuf[:0]
 	for q1 := (q - 1) & q; q1 > 0; q1 = (q1 - 1) & q {
 		if q1&low != 0 {
 			out = append(out, q1)
 		}
 	}
+	c.splitsBuf = out
 	return out
 }
 
@@ -414,18 +432,22 @@ func (c *computation) allOnBoundary(q int) bool {
 // circularly consecutive in the clockwise boundary order, with q1
 // containing the sink of mask low.
 func (c *computation) boundarySplits(q, low int) []int {
-	// Members sorted by boundary position.
-	type member struct{ s, pos int }
-	var ms []member
+	// Members sorted by boundary position (positions are distinct — each
+	// distinct sink occupies its own grid node).
+	ms := c.msBuf[:0]
 	for s := 0; s < c.m; s++ {
 		if q&(1<<s) != 0 {
-			ms = append(ms, member{s, c.boundaryPos[s]})
+			ms = append(ms, bdMember{s, c.boundaryPos[s]})
 		}
 	}
-	sort.Slice(ms, func(i, j int) bool { return ms[i].pos < ms[j].pos })
+	c.msBuf = ms
+	slices.SortFunc(ms, func(a, b bdMember) int { return a.pos - b.pos })
 	k := len(ms)
-	seen := map[int]bool{}
-	var out []int
+	if c.seenStamp == nil {
+		c.seenStamp = make([]int32, 1<<c.m)
+	}
+	c.seenGen++
+	out := c.splitsBuf[:0]
 	// All circular runs of length 1..k-1; keep the side containing low.
 	for start := 0; start < k; start++ {
 		mask := 0
@@ -435,12 +457,13 @@ func (c *computation) boundarySplits(q, low int) []int {
 			if q1&low == 0 {
 				q1 = q &^ q1
 			}
-			if !seen[q1] {
-				seen[q1] = true
+			if c.seenStamp[q1] != c.seenGen {
+				c.seenStamp[q1] = c.seenGen
 				out = append(out, q1)
 			}
 		}
 	}
+	c.splitsBuf = out
 	return out
 }
 
@@ -450,12 +473,13 @@ func (c *computation) boundarySplits(q, low int) []int {
 func (c *computation) extend(q int, M, Sq [][]int32) {
 	inside := c.insideNodes(q)
 	// Collect source nodes with non-empty M.
-	var srcs []int
+	srcs := c.srcsBuf[:0]
 	for _, u := range inside {
 		if len(M[u]) > 0 {
 			srcs = append(srcs, u)
 		}
 	}
+	c.srcsBuf = srcs
 	var cand []ent
 	for _, v := range inside {
 		cand = cand[:0]
@@ -530,14 +554,33 @@ func (c *computation) filterPush(cand []ent) []int32 {
 	if len(cand) == 0 {
 		return nil
 	}
-	sort.Slice(cand, func(a, b int) bool {
-		if cand[a].w != cand[b].w {
-			return cand[a].w < cand[b].w
+	slices.SortFunc(cand, func(a, b ent) int {
+		if a.w != b.w {
+			if a.w < b.w {
+				return -1
+			}
+			return 1
 		}
-		return cand[a].d < cand[b].d
+		switch {
+		case a.d < b.d:
+			return -1
+		case a.d > b.d:
+			return 1
+		}
+		return 0
 	})
-	var out []int32
+	// Count survivors first so the persistent result is one exact
+	// allocation rather than a growth sequence.
+	n := 0
 	bestD := int64(1<<63 - 1)
+	for _, e := range cand {
+		if e.d < bestD {
+			n++
+			bestD = e.d
+		}
+	}
+	out := make([]int32, 0, n)
+	bestD = int64(1<<63 - 1)
 	for _, e := range cand {
 		if e.d < bestD {
 			out = append(out, c.push(e))

@@ -1,0 +1,134 @@
+package engine
+
+import (
+	"encoding/binary"
+
+	"patlabor/internal/hanan"
+	"patlabor/internal/tree"
+)
+
+// dupAssign is one net's slot in a batch dedup plan: rep is the index of
+// the net whose frontier answers for this one (rep == own index means the
+// net is a representative and must be routed), and iso maps the
+// representative's plane and pin indices onto this net's (nil for
+// representatives).
+type dupAssign struct {
+	rep int
+	iso *hanan.Isometry
+}
+
+// repCand is one representative already planned under a dedup key; ranks
+// and tf are retained only for canonically keyed candidates, where the
+// isometry must be derived (and verified) per duplicate.
+type repCand struct {
+	idx   int
+	ranks hanan.Ranks
+	tf    hanan.Transform
+}
+
+// planDedup scans the batch in index order and groups nets that are
+// guaranteed to produce transform-identical frontiers, so RouteAll can
+// route one representative per group and synthesize the rest. The
+// grouping mirrors core.SubCache's key scheme, at net granularity:
+//
+//   - Small nets the lookup table covers key on their canonical symmetry
+//     class ('S': canonical pattern plus canonically transformed gaps);
+//     any of the 8 dihedral symmetries plus translation maps the
+//     representative's frontier onto the duplicate's exactly. Equal keys
+//     are re-verified coordinate-by-coordinate by hanan.NewIsometry; a
+//     net whose isometry derivation fails against every candidate simply
+//     becomes its own representative.
+//
+//   - All other nets key on translation only ('L': degree plus
+//     source-relative pin coordinates, in pin order) — the exact DP and
+//     the local search are translation-equivariant but not
+//     reflection-invariant in their tie-breaks, and the local search's
+//     pin selection follows sink indices, so an order-permuted translate
+//     is deliberately NOT grouped (its frontier is not guaranteed
+//     identical).
+//
+// The first occurrence of each key (lowest index) is the representative,
+// so every duplicate's index is strictly above its representative's —
+// which keeps RouteAll's lowest-failed-index error deterministic: a
+// duplicate would fail exactly when its representative does, and the
+// representative comes first.
+//
+// hits counts nets answered by a batch-mate, misses counts nets the
+// dedup layer examined but had to route.
+func (e *Engine) planDedup(nets []tree.Net) (assigns []dupAssign, hits, misses int64) {
+	assigns = make([]dupAssign, len(nets))
+	groups := make(map[string][]repCand)
+	var buf []byte
+	var hs, vs []int64
+	for i, net := range nets {
+		assigns[i].rep = i
+		n := net.Degree()
+		if n < 2 {
+			continue // trivial nets: routing is cheaper than keying
+		}
+		canonical := n <= e.lambda && e.table != nil && e.table.Covers(n)
+		var r hanan.Ranks
+		var tf hanan.Transform
+		if canonical {
+			r = hanan.RanksOf(net)
+			buf = append(buf[:0], 'S')
+			buf, tf = hanan.AppendCanonicalKey(buf, r.Pattern)
+			hs, vs = tf.ApplyLengthsInto(r.H, r.V, hs, vs)
+			for _, g := range hs {
+				buf = binary.AppendVarint(buf, g)
+			}
+			for _, g := range vs {
+				buf = binary.AppendVarint(buf, g)
+			}
+		} else {
+			buf = append(buf[:0], 'L')
+			buf = binary.AppendUvarint(buf, uint64(n))
+			src := net.Pins[0]
+			for _, p := range net.Pins[1:] {
+				buf = binary.AppendVarint(buf, p.X-src.X)
+				buf = binary.AppendVarint(buf, p.Y-src.Y)
+			}
+		}
+		cands := groups[string(buf)]
+		matched := false
+		for _, c := range cands {
+			if canonical {
+				iso, err := hanan.NewIsometry(c.ranks, c.tf, r, tf)
+				if err != nil {
+					continue // key collision: verification refused, try the next
+				}
+				assigns[i] = dupAssign{rep: c.idx, iso: iso}
+			} else {
+				delta := net.Pins[0].Sub(nets[c.idx].Pins[0])
+				assigns[i] = dupAssign{rep: c.idx, iso: hanan.Translation(delta)}
+			}
+			matched = true
+			break
+		}
+		if matched {
+			hits++
+			continue
+		}
+		misses++
+		groups[string(buf)] = append(cands, repCand{idx: i, ranks: r, tf: tf})
+	}
+	return assigns, hits, misses
+}
+
+// degreeBucket labels a net degree for profiling: pprof samples taken
+// while routing carry the bucket, so `go tool pprof` can attribute time
+// to small exact solves versus large local searches.
+func degreeBucket(n int) string {
+	switch {
+	case n <= 9:
+		return "2-9"
+	case n <= 16:
+		return "10-16"
+	case n <= 32:
+		return "17-32"
+	case n <= 64:
+		return "33-64"
+	default:
+		return "65+"
+	}
+}

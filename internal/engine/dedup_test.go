@@ -1,0 +1,276 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"patlabor/internal/geom"
+	"patlabor/internal/hanan"
+	"patlabor/internal/netgen"
+	"patlabor/internal/pareto"
+	"patlabor/internal/tree"
+)
+
+// applyNet realises a plane symmetry plus translation on a net, with the
+// sink order permuted — the strongest disguise the dedup layer claims to
+// see through for table-covered degrees.
+func applyNet(rng *rand.Rand, tf hanan.Transform, d geom.Point, net tree.Net) tree.Net {
+	apply := func(p geom.Point) geom.Point {
+		x, y := p.X, p.Y
+		if tf.Transpose {
+			x, y = y, x
+		}
+		if tf.FlipX {
+			x = -x
+		}
+		if tf.FlipY {
+			y = -y
+		}
+		return geom.Pt(x+d.X, y+d.Y)
+	}
+	out := tree.Net{Pins: make([]geom.Point, net.Degree())}
+	out.Pins[0] = apply(net.Pins[0])
+	for i, j := range rng.Perm(net.Degree() - 1) {
+		out.Pins[1+j] = apply(net.Pins[1+i])
+	}
+	return out
+}
+
+// translateNet shifts every pin by d, preserving sink order — the only
+// disguise the 'L' translation key claims to see through (the local
+// search's tie-breaks follow pin indices, so order-permuted copies are
+// not guaranteed identical frontiers and must not dedup).
+func translateNet(d geom.Point, net tree.Net) tree.Net {
+	out := tree.Net{Pins: make([]geom.Point, net.Degree())}
+	for i, p := range net.Pins {
+		out.Pins[i] = geom.Pt(p.X+d.X, p.Y+d.Y)
+	}
+	return out
+}
+
+// dupBatch builds a 220-net batch rich in duplicates: a pool of base nets
+// (small table-covered degrees plus a few local-search degrees), padded
+// with symmetry/permutation copies of the small ones and order-preserving
+// translates of the large ones, in shuffled order.
+func dupBatch(rng *rand.Rand) []tree.Net {
+	const count = 220
+	transforms := hanan.AllTransforms()
+	var base []tree.Net
+	for i := 0; i < 24; i++ {
+		base = append(base, netgen.Uniform(rng, 2+rng.Intn(6), 4000))
+	}
+	for i := 0; i < 6; i++ {
+		base = append(base, netgen.Clustered(rng, 12+rng.Intn(3), 8000, 700))
+	}
+	nets := append([]tree.Net(nil), base...)
+	for len(nets) < count {
+		src := base[rng.Intn(len(base))]
+		d := geom.Pt(rng.Int63n(20000)-10000, rng.Int63n(20000)-10000)
+		if src.Degree() <= 7 {
+			tf := transforms[rng.Intn(len(transforms))]
+			nets = append(nets, applyNet(rng, tf, d, src))
+		} else {
+			nets = append(nets, translateNet(d, src))
+		}
+	}
+	rng.Shuffle(len(nets), func(i, j int) { nets[i], nets[j] = nets[j], nets[i] })
+	return nets
+}
+
+// TestBatchDedupDifferential is the acceptance gate of the batch caches:
+// a duplicate-rich 220-net batch routed with the sub-frontier memo and
+// net dedup on returns byte-identical frontiers to the same batch with
+// NoCache, and the engine's stats actually show cache traffic.
+func TestBatchDedupDifferential(t *testing.T) {
+	nets := dupBatch(rand.New(rand.NewSource(42)))
+
+	cached, err := New(Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cached.RouteAll(context.Background(), nets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second pass over the same engine: the dedup plan is per-batch,
+	// but the sub-frontier memo persists, so every representative's
+	// windows now take the hit path — which must be byte-identical too.
+	got2, err := cached.RouteAll(context.Background(), nets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := RouteAll(context.Background(), nets, Options{Workers: 8, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range nets {
+		gs := make([]pareto.Sol, len(got[i]))
+		for k, c := range got[i] {
+			gs[k] = c.Sol
+			if err := c.Val.Validate(nets[i]); err != nil {
+				t.Fatalf("net %d candidate %d: %v", i, k, err)
+			}
+		}
+		ws := make([]pareto.Sol, len(want[i]))
+		for k, c := range want[i] {
+			ws[k] = c.Sol
+		}
+		if !bytes.Equal([]byte(fmt.Sprint(gs)), []byte(fmt.Sprint(ws))) {
+			t.Fatalf("net %d (degree %d): cached frontier %v != uncached %v",
+				i, nets[i].Degree(), gs, ws)
+		}
+		g2 := make([]pareto.Sol, len(got2[i]))
+		for k, c := range got2[i] {
+			g2[k] = c.Sol
+		}
+		if !bytes.Equal([]byte(fmt.Sprint(g2)), []byte(fmt.Sprint(gs))) {
+			t.Fatalf("net %d: warm-memo frontier %v != cold %v", i, g2, gs)
+		}
+	}
+
+	st := cached.Stats()
+	if st.NetsRouted != 2*int64(len(nets)) {
+		t.Fatalf("NetsRouted = %d, want %d (duplicates must still be counted)", st.NetsRouted, 2*len(nets))
+	}
+	var degreeNets int64
+	for _, d := range st.Degrees {
+		degreeNets += d.Nets
+	}
+	if degreeNets != 2*int64(len(nets)) {
+		t.Fatalf("degree histogram covers %d nets, want %d", degreeNets, 2*len(nets))
+	}
+	if st.DedupHits == 0 {
+		t.Fatal("no dedup hits on a duplicate-rich batch")
+	}
+	if st.DedupMisses == 0 {
+		t.Fatal("no dedup misses (every batch has representatives)")
+	}
+	if st.SubFrontierHits == 0 {
+		t.Fatal("no sub-frontier hits despite repeated large-net searches")
+	}
+	for _, want := range []string{"net dedup", "sub-frontier"} {
+		if !strings.Contains(st.String(), want) {
+			t.Fatalf("Stats.String() missing %q:\n%s", want, st.String())
+		}
+	}
+}
+
+// TestNoCacheStatsSilent checks the off switch: a NoCache engine reports
+// zero cache traffic and its String() omits the cache lines.
+func TestNoCacheStatsSilent(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	nets := make([]tree.Net, 12)
+	for i := range nets {
+		nets[i] = netgen.Uniform(rng, 4, 1000)
+	}
+	// Duplicate-heavy on purpose: even so, NoCache must not dedup.
+	for i := 6; i < 12; i++ {
+		nets[i] = nets[i-6]
+	}
+	e, err := New(Options{Workers: 4, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RouteAll(context.Background(), nets); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.DedupHits != 0 || st.DedupMisses != 0 || st.SubFrontierHits != 0 || st.SubFrontierMisses != 0 {
+		t.Fatalf("NoCache engine reports cache traffic: %+v", st)
+	}
+	for _, banned := range []string{"net dedup", "sub-frontier"} {
+		if strings.Contains(st.String(), banned) {
+			t.Fatalf("NoCache Stats.String() contains %q:\n%s", banned, st.String())
+		}
+	}
+}
+
+// TestDedupReset checks that Reset rebases the sub-frontier snapshot: a
+// second identical batch reports only its own traffic.
+func TestDedupReset(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	nets := []tree.Net{
+		netgen.Clustered(rng, 12, 8000, 700),
+	}
+	nets = append(nets, translateNet(geom.Pt(500, -300), nets[0]))
+	e, err := New(Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RouteAll(context.Background(), nets); err != nil {
+		t.Fatal(err)
+	}
+	first := e.Stats()
+	if first.DedupHits != 1 {
+		t.Fatalf("DedupHits = %d, want 1", first.DedupHits)
+	}
+	e.Reset()
+	zero := e.Stats()
+	if zero.DedupHits != 0 || zero.SubFrontierHits != 0 || zero.SubFrontierMisses != 0 {
+		t.Fatalf("Reset left cache counters: %+v", zero)
+	}
+	if _, err := e.RouteAll(context.Background(), nets); err != nil {
+		t.Fatal(err)
+	}
+	second := e.Stats()
+	if second.DedupHits != 1 {
+		t.Fatalf("second batch DedupHits = %d, want 1", second.DedupHits)
+	}
+	// The memo survives Reset, so the repeated batch should hit at least
+	// as often as it missed the first time around.
+	if second.SubFrontierMisses > first.SubFrontierMisses {
+		t.Fatalf("repeat batch missed more (%d) than the first (%d)",
+			second.SubFrontierMisses, first.SubFrontierMisses)
+	}
+}
+
+// TestPlanDedupSymmetry exercises the planner directly: translated and
+// reflected copies of a table-covered net collapse onto one
+// representative, and an unrelated net stays its own.
+func TestPlanDedupSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	base := netgen.Uniform(rng, 5, 3000)
+	tfs := hanan.AllTransforms()
+	nets := []tree.Net{
+		base,
+		applyNet(rng, tfs[0], geom.Pt(100, 200), base), // translate
+		netgen.Uniform(rng, 5, 3000),                   // unrelated
+	}
+	e, err := New(Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assigns, hits, misses := e.planDedup(nets)
+	if assigns[0].rep != 0 || assigns[2].rep != 2 {
+		t.Fatalf("representatives misassigned: %+v", assigns)
+	}
+	if assigns[1].rep != 0 || assigns[1].iso == nil {
+		t.Fatalf("translate not deduped: %+v", assigns[1])
+	}
+	if hits != 1 || misses != 2 {
+		t.Fatalf("hits/misses = %d/%d, want 1/2", hits, misses)
+	}
+	// Reflected copies dedup whenever the canonical keys line up (they
+	// can legitimately differ under a stabilizer ambiguity, so count
+	// successes over several trials rather than demanding each one).
+	matched := 0
+	for trial := 0; trial < 20; trial++ {
+		b := netgen.Uniform(rng, 2+rng.Intn(6), 3000)
+		m := applyNet(rng, tfs[1+rng.Intn(len(tfs)-1)], geom.Pt(rng.Int63n(1000), rng.Int63n(1000)), b)
+		a, _, _ := e.planDedup([]tree.Net{b, m})
+		if a[1].rep == 0 {
+			matched++
+			if a[1].iso == nil {
+				t.Fatal("dedup without an isometry")
+			}
+		}
+	}
+	if matched < 10 {
+		t.Fatalf("only %d/20 reflected copies deduped", matched)
+	}
+}

@@ -5,8 +5,16 @@
 // Routing is embarrassingly parallel across nets — each net's construction
 // touches no mutable shared state — so the only cross-goroutine structures
 // are the read-only lookup table (internal/lut, immutable after its
-// sync.Once build, RWMutex-guarded for file merges) and the engine's own
-// statistics collector.
+// sync.Once build, RWMutex-guarded for file merges), the shared
+// sub-frontier memo (core.SubCache, mutex-guarded; hits are byte-identical
+// to recomputation, so results never depend on cache state or worker
+// interleaving) and the engine's own statistics collector.
+//
+// On top of the worker pool the engine runs a batch-level net dedup (see
+// planDedup): nets with identical canonical form — translates, and for
+// table-covered small degrees any of the 8 plane symmetries — are routed
+// once and the duplicates' frontiers synthesized by an exact isometry.
+// Options.NoCache disables both the memo and the dedup.
 //
 // Every batch runs under a context.Context: cancellation stops dispatching
 // new nets immediately, aborts in-flight nets at their next iteration
@@ -23,6 +31,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"time"
@@ -60,6 +69,12 @@ type Options struct {
 	TablePath string
 	// Params overrides the trained pin-selection policy weights.
 	Params *policy.Params
+	// NoCache disables the batch's caches: the sub-frontier memo shared
+	// across workers (core.SubCache) and the batch-level net dedup.
+	// Results are byte-identical either way; the flag exists for A-B
+	// benchmarking and for memory-predictable runs. It only affects the
+	// patlabor method — baselines use neither cache.
+	NoCache bool
 }
 
 // Engine routes batches of nets concurrently. It is safe for concurrent
@@ -68,10 +83,26 @@ type Engine struct {
 	method  method.Method
 	workers int
 	table   *lut.Table
+	// lambda is the resolved small-net threshold; planDedup needs it to
+	// decide which nets the lookup table answers (and may therefore be
+	// deduped across symmetries, not just translations).
+	lambda int
+	// dedup enables the batch-level net dedup; set only for the patlabor
+	// method with caching on (baseline methods' tie-breaks have no
+	// verified equivariance contract).
+	dedup bool
+	// subCache is the sub-frontier memo shared by every worker and every
+	// RouteAll call of this engine; nil when caching is off or the method
+	// never runs the local search.
+	subCache *core.SubCache
 	// base subtracts table traffic that predates this engine (the lut
 	// counters are per-table, and the default table is shared
 	// process-wide).
 	base tableCounters
+	// baseSubHits/baseSubMisses rebase the sub-frontier counters on Reset
+	// (the SubCache is private to the engine, but Reset must still zero
+	// the snapshot).
+	baseSubHits, baseSubMisses int64
 
 	mu    sync.Mutex
 	stats Stats
@@ -119,7 +150,13 @@ func New(opts Options) (*Engine, error) {
 	}
 	var m method.Method
 	counting := table
+	var subCache *core.SubCache
+	dedup := false
 	if method.Key(name) == "patlabor" {
+		if !opts.NoCache {
+			subCache = core.NewSubCache(0)
+			dedup = true
+		}
 		// PatLabor routes with this engine's resolved core options; the
 		// registry entry would use the defaults.
 		m = method.PatLabor(core.Options{
@@ -127,6 +164,8 @@ func New(opts Options) (*Engine, error) {
 			Iterations: opts.Iterations,
 			Table:      table,
 			Params:     opts.Params,
+			Cache:      subCache,
+			NoCache:    opts.NoCache,
 		})
 		if counting == nil {
 			// Resolve the shared table now (first use generates the eager
@@ -144,10 +183,17 @@ func New(opts Options) (*Engine, error) {
 		// does not pay for eager table generation.
 		m = mm
 	}
+	lambda := opts.Lambda
+	if lambda <= 0 {
+		lambda = core.DefaultLambda
+	}
 	e := &Engine{
-		method:  m,
-		workers: workers,
-		table:   counting,
+		method:   m,
+		workers:  workers,
+		table:    counting,
+		lambda:   lambda,
+		dedup:    dedup,
+		subCache: subCache,
 	}
 	if counting != nil {
 		e.base = snapshotTable(counting)
@@ -168,26 +214,66 @@ func (e *Engine) Method() string { return e.method.Name() }
 // their next iteration check, the results are nil and ctx.Err() is
 // returned.
 func (e *Engine) RouteAll(ctx context.Context, nets []tree.Net) ([]Result, error) {
+	var assigns []dupAssign
+	var dedupHits, dedupMisses int64
+	if e.dedup && len(nets) > 1 {
+		assigns, dedupHits, dedupMisses = e.planDedup(nets)
+	}
+	methodName := e.method.Name()
 	out := make([]Result, len(nets))
 	local := make([]collector, e.workers)
 	start := time.Now()
 	err := forEach(ctx, len(nets), e.workers, func(worker, i int) error {
+		if assigns != nil && assigns[i].rep != i {
+			return nil // synthesized from its representative after the pass
+		}
 		t0 := time.Now()
-		cands, err := e.method.Frontier(ctx, nets[i])
-		if err != nil {
+		var cands Result
+		var ferr error
+		pprof.Do(ctx, pprof.Labels(
+			"patlabor_method", methodName,
+			"patlabor_degree", degreeBucket(nets[i].Degree()),
+		), func(ctx context.Context) {
+			cands, ferr = e.method.Frontier(ctx, nets[i])
+		})
+		if ferr != nil {
 			local[worker].errs++
-			return fmt.Errorf("engine: net %d: %w", i, err)
+			return fmt.Errorf("engine: net %d: %w", i, ferr)
 		}
 		local[worker].record(nets[i].Degree(), time.Since(t0))
 		out[i] = cands
 		return nil
 	})
+	// Synthesize the duplicates from their representatives' frontiers.
+	// Serial: each is a handful of small-tree clones through an isometry.
+	var dups collector
+	if err == nil && assigns != nil {
+		for i := range assigns {
+			a := assigns[i]
+			if a.rep == i {
+				continue
+			}
+			t0 := time.Now()
+			src := out[a.rep]
+			res := make(Result, len(src))
+			for j, item := range src {
+				res[j] = pareto.Item[*tree.Tree]{Sol: item.Sol, Val: a.iso.ApplyTree(item.Val)}
+			}
+			out[i] = res
+			dups.record(nets[i].Degree(), time.Since(t0))
+		}
+	}
 	elapsed := time.Since(start)
 
 	e.mu.Lock()
 	for w := range local {
-		e.stats.merge(e.method.Name(), &local[w])
+		e.stats.merge(methodName, &local[w])
 	}
+	if dups.nets > 0 {
+		e.stats.merge(methodName, &dups)
+	}
+	e.stats.DedupHits += dedupHits
+	e.stats.DedupMisses += dedupMisses
 	e.stats.Batches++
 	e.stats.Elapsed += elapsed
 	e.mu.Unlock()
@@ -215,6 +301,11 @@ func (e *Engine) Stats() Stats {
 		s.ToposEvaluated = cur.evaluated - e.base.evaluated
 		s.TreesMaterialized = cur.materialized - e.base.materialized
 	}
+	if e.subCache != nil {
+		h, m := e.subCache.Counters()
+		s.SubFrontierHits = h - e.baseSubHits
+		s.SubFrontierMisses = m - e.baseSubMisses
+	}
 	return s
 }
 
@@ -229,6 +320,9 @@ func (e *Engine) Reset() {
 	defer e.mu.Unlock()
 	e.stats = Stats{}
 	e.base = cur
+	if e.subCache != nil {
+		e.baseSubHits, e.baseSubMisses = e.subCache.Counters()
+	}
 }
 
 // RouteAll is the one-shot convenience: build an engine and route the

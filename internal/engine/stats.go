@@ -69,6 +69,18 @@ type Stats struct {
 	// dot products versus frontier survivors actually built as trees.
 	ToposEvaluated    int64
 	TreesMaterialized int64
+	// SubFrontierHits / SubFrontierMisses count the local search's
+	// sub-frontier memo traffic (core.SubCache, shared across the batch):
+	// λ-pin windows answered by transforming a previously solved window
+	// versus windows solved from scratch.
+	SubFrontierHits   int64
+	SubFrontierMisses int64
+	// DedupHits / DedupMisses count the batch-level net dedup: nets
+	// answered by transforming an identical (translation- or
+	// symmetry-equivalent) batch-mate's frontier versus nets the dedup
+	// layer examined but had to route.
+	DedupHits   int64
+	DedupMisses int64
 	// Methods breaks NetsRouted/Errors down per routing method, sorted by
 	// method name. A single engine routes with one method, but counters
 	// survive Reset-free engine reuse and merge across batches.
@@ -184,6 +196,14 @@ func (s Stats) String() string {
 		fmt.Fprintf(&b, "LUT symbolic  %d topologies evaluated, %d trees materialized (%.1f%% skipped)\n",
 			s.ToposEvaluated, s.TreesMaterialized,
 			100*(1-float64(s.TreesMaterialized)/float64(s.ToposEvaluated)))
+	}
+	if sub := s.SubFrontierHits + s.SubFrontierMisses; sub > 0 {
+		fmt.Fprintf(&b, "sub-frontier  %d hits / %d misses (%.1f%% hit rate)\n",
+			s.SubFrontierHits, s.SubFrontierMisses, 100*float64(s.SubFrontierHits)/float64(sub))
+	}
+	if ded := s.DedupHits + s.DedupMisses; ded > 0 {
+		fmt.Fprintf(&b, "net dedup     %d duplicates / %d unique (%.1f%% of batch deduped)\n",
+			s.DedupHits, s.DedupMisses, 100*float64(s.DedupHits)/float64(ded))
 	}
 	for _, d := range s.Degrees {
 		fmt.Fprintf(&b, "degree %-4d   %6d nets  mean %-10s max %s\n",

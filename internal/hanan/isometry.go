@@ -1,0 +1,166 @@
+package hanan
+
+import (
+	"fmt"
+
+	"patlabor/internal/geom"
+	"patlabor/internal/tree"
+)
+
+// Isometry is a concrete L1 isometry between two instances of the same
+// canonical symmetry class: an optional axis swap followed by per-axis
+// sign flips and translations, plus the induced pin bijection. It is the
+// bridge that lets one routed instance answer for another — trees routed
+// for instance A map onto exact trees for instance B with identical
+// wirelength and delay, because L1 distances are invariant under axis
+// swaps, reflections and translations.
+type Isometry struct {
+	swap   bool
+	sx, sy int64 // ±1
+	cx, cy int64
+	// pins maps A's pin indices to B's; nil means the identity.
+	pins []int
+}
+
+// Translation returns the isometry that translates points by d with the
+// identity pin mapping.
+func Translation(d geom.Point) *Isometry {
+	return &Isometry{sx: 1, sy: 1, cx: d.X, cy: d.Y}
+}
+
+// NewIsometry derives the isometry mapping instance A onto instance B
+// from their rank-space views and canonicalizing transforms (as returned
+// by RanksOf and AppendCanonicalKey). The caller must have established
+// that A and B share a canonical key — same canonical pattern and same
+// canonically transformed gap vectors; NewIsometry then composes
+// tb⁻¹ ∘ ta on the rank grid, solves for the per-axis affine maps, and
+// verifies every rank coordinate and every pin correspondence, so a
+// caller bug (or a key collision) surfaces as an error rather than a
+// wrong tree.
+func NewIsometry(ra Ranks, ta Transform, rb Ranks, tb Transform) (*Isometry, error) {
+	n := ra.Pattern.N
+	if rb.Pattern.N != n {
+		return nil, fmt.Errorf("hanan: isometry between degree %d and %d", n, rb.Pattern.N)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("hanan: isometry of empty instance")
+	}
+	tbInv := tb.Invert()
+	mapCell := func(i, j int) (int, int) {
+		ci, cj := ta.Apply(n, i, j)
+		return tbInv.Apply(n, ci, cj)
+	}
+	iso := &Isometry{swap: ta.Transpose != tb.Transpose}
+
+	// Each output axis of the composite depends on exactly one input
+	// axis: B's x-rank on A's x-rank (or y-rank when the composite
+	// transposes), and symmetrically for y. Solve each 1-D affine map
+	// from the extreme ranks, then verify it on every rank coordinate.
+	var srcX, srcY []int64 // A-side coordinate tables feeding B's x and y
+	if iso.swap {
+		srcX, srcY = ra.Ys, ra.Xs
+	} else {
+		srcX, srcY = ra.Xs, ra.Ys
+	}
+	biOf := func(k int) int {
+		if iso.swap {
+			bi, _ := mapCell(0, k)
+			return bi
+		}
+		bi, _ := mapCell(k, 0)
+		return bi
+	}
+	bjOf := func(k int) int {
+		if iso.swap {
+			_, bj := mapCell(k, 0)
+			return bj
+		}
+		_, bj := mapCell(0, k)
+		return bj
+	}
+	var err error
+	if iso.sx, iso.cx, err = axisMap(srcX, rb.Xs, biOf); err != nil {
+		return nil, fmt.Errorf("hanan: isometry x-axis: %w", err)
+	}
+	if iso.sy, iso.cy, err = axisMap(srcY, rb.Ys, bjOf); err != nil {
+		return nil, fmt.Errorf("hanan: isometry y-axis: %w", err)
+	}
+
+	// Pin bijection: A's pin p occupies rank cell (XRank[p], YRank[p]);
+	// its image cell must be occupied by exactly one B pin (x-ranks are a
+	// bijection), and that pin's y-rank must agree.
+	invX := make([]int, n)
+	for p, r := range rb.XRank {
+		invX[r] = p
+	}
+	pins := make([]int, n)
+	identity := true
+	for p := 0; p < n; p++ {
+		bi, bj := mapCell(ra.XRank[p], ra.YRank[p])
+		q := invX[bi]
+		if rb.YRank[q] != bj {
+			return nil, fmt.Errorf("hanan: isometry pin %d: image cell (%d,%d) not realised by a B pin", p, bi, bj)
+		}
+		pins[p] = q
+		if q != p {
+			identity = false
+		}
+	}
+	if pins[0] != 0 {
+		return nil, fmt.Errorf("hanan: isometry maps source to pin %d", pins[0])
+	}
+	if !identity {
+		iso.pins = pins
+	}
+	return iso, nil
+}
+
+// axisMap solves dst[biOf(k)] = s*src[k] + c for s ∈ {±1} and c, or
+// reports that no such map exists.
+func axisMap(src, dst []int64, biOf func(int) int) (s, c int64, err error) {
+	n := len(src)
+	s = 1
+	lo, hi := src[0], src[n-1]
+	dlo, dhi := dst[biOf(0)], dst[biOf(n-1)]
+	if (hi-lo > 0) != (dhi-dlo > 0) && hi != lo {
+		s = -1
+	}
+	c = dlo - s*lo
+	for k := 0; k < n; k++ {
+		if s*src[k]+c != dst[biOf(k)] {
+			return 0, 0, fmt.Errorf("rank %d: %d does not map to %d under (%+d, %+d)", k, src[k], dst[biOf(k)], s, c)
+		}
+	}
+	return s, c, nil
+}
+
+// Point maps a point of instance A's plane into instance B's.
+func (iso *Isometry) Point(p geom.Point) geom.Point {
+	if iso.swap {
+		return geom.Point{X: iso.sx*p.Y + iso.cx, Y: iso.sy*p.X + iso.cy}
+	}
+	return geom.Point{X: iso.sx*p.X + iso.cx, Y: iso.sy*p.Y + iso.cy}
+}
+
+// Pin maps a pin index of instance A to the corresponding pin of B.
+func (iso *Isometry) Pin(p int) int {
+	if iso.pins == nil {
+		return p
+	}
+	return iso.pins[p]
+}
+
+// ApplyTree returns a copy of t (a tree routed for instance A) mapped
+// into instance B's frame: node positions through Point, pin indices
+// through Pin. Structure, wirelength and every path length are
+// preserved exactly.
+func (iso *Isometry) ApplyTree(t *tree.Tree) *tree.Tree {
+	out := t.Clone()
+	for i := range out.Nodes {
+		out.Nodes[i].P = iso.Point(out.Nodes[i].P)
+		if out.Nodes[i].Pin >= 0 {
+			out.Nodes[i].Pin = iso.Pin(out.Nodes[i].Pin)
+		}
+	}
+	return out
+}

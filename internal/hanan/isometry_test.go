@@ -1,0 +1,135 @@
+package hanan
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"patlabor/internal/geom"
+	"patlabor/internal/tree"
+)
+
+// concreteApply realises a Transform plus a translation as a concrete
+// plane isometry (the test's ground truth, independent of Isometry).
+func concreteApply(tf Transform, d geom.Point, p geom.Point) geom.Point {
+	x, y := p.X, p.Y
+	if tf.Transpose {
+		x, y = y, x
+	}
+	if tf.FlipX {
+		x = -x
+	}
+	if tf.FlipY {
+		y = -y
+	}
+	return geom.Pt(x+d.X, y+d.Y)
+}
+
+func canonicalKeyAndGaps(t *testing.T, net tree.Net) ([]byte, Ranks, Transform) {
+	t.Helper()
+	r := RanksOf(net)
+	key, tf := AppendCanonicalKey(nil, r.Pattern)
+	hh, vv := tf.ApplyLengths(r.H, r.V)
+	for _, g := range hh {
+		key = append(key, byte(g), byte(g>>8))
+	}
+	for _, g := range vv {
+		key = append(key, byte(g), byte(g>>8))
+	}
+	return key, r, tf
+}
+
+// TestIsometryRandomSymmetries checks the contract the sub-frontier memo
+// and batch dedup rely on: whenever two instances produce the same
+// canonical key (pattern plus canonically transformed gaps), NewIsometry
+// derives a verified map between them. Keys of symmetric instances may
+// still differ when the canonical pattern has a nontrivial stabilizer —
+// the two instances then canonicalize through different transforms and
+// the gap vectors land in different frames. That only costs a missed
+// cache hit, so the test tolerates (and counts) such trials.
+func TestIsometryRandomSymmetries(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	transforms := AllTransforms()
+	matched := 0
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(8)
+		// Distinct coordinates keep rank tie-breaks out of the picture.
+		xs := rng.Perm(500)
+		ys := rng.Perm(500)
+		netA := tree.Net{Pins: make([]geom.Point, n)}
+		for i := 0; i < n; i++ {
+			netA.Pins[i] = geom.Pt(int64(xs[i]), int64(ys[i]))
+		}
+		tf := transforms[rng.Intn(len(transforms))]
+		d := geom.Pt(rng.Int63n(2000)-1000, rng.Int63n(2000)-1000)
+		// B: a concrete symmetry+translation of A, with the sink order
+		// permuted (pin identity must be recovered, not assumed).
+		perm := rng.Perm(n - 1)
+		netB := tree.Net{Pins: make([]geom.Point, n)}
+		netB.Pins[0] = concreteApply(tf, d, netA.Pins[0])
+		for i, j := range perm {
+			netB.Pins[1+j] = concreteApply(tf, d, netA.Pins[1+i])
+		}
+
+		keyA, ra, ta := canonicalKeyAndGaps(t, netA)
+		keyB, rb, tb := canonicalKeyAndGaps(t, netB)
+		if !bytes.Equal(keyA, keyB) {
+			continue // stabilizer ambiguity: a missed hit, not an error
+		}
+		matched++
+		iso, err := NewIsometry(ra, ta, rb, tb)
+		if err != nil {
+			t.Fatalf("trial %d: NewIsometry: %v", trial, err)
+		}
+		if iso.Pin(0) != 0 {
+			t.Fatalf("trial %d: source maps to pin %d", trial, iso.Pin(0))
+		}
+		for p := 0; p < n; p++ {
+			got := iso.Point(netA.Pins[p])
+			want := netB.Pins[iso.Pin(p)]
+			if got != want {
+				t.Fatalf("trial %d: pin %d maps to %v, want %v", trial, p, got, want)
+			}
+		}
+
+		// A routed tree for A must map to a valid tree for B with the
+		// same objectives.
+		tr := tree.Star(netA)
+		tr.Steinerize()
+		mapped := iso.ApplyTree(tr)
+		if err := mapped.Validate(netB); err != nil {
+			t.Fatalf("trial %d: mapped tree invalid: %v", trial, err)
+		}
+		if tr.Sol() != mapped.Sol() {
+			t.Fatalf("trial %d: sol %v != mapped sol %v", trial, tr.Sol(), mapped.Sol())
+		}
+	}
+	// Most random patterns have a trivial stabilizer, so the isometry
+	// path must have been exercised on the bulk of the trials.
+	if matched < 200 {
+		t.Fatalf("only %d/300 trials produced matching canonical keys", matched)
+	}
+}
+
+func TestIsometryTranslation(t *testing.T) {
+	iso := Translation(geom.Pt(5, -3))
+	if got := iso.Point(geom.Pt(10, 10)); got != geom.Pt(15, 7) {
+		t.Fatalf("Point = %v", got)
+	}
+	if iso.Pin(4) != 4 {
+		t.Fatalf("Pin(4) = %d", iso.Pin(4))
+	}
+}
+
+func TestIsometryRejectsMismatch(t *testing.T) {
+	netA := tree.NewNet(geom.Pt(0, 0), geom.Pt(10, 5), geom.Pt(20, 30))
+	netB := tree.NewNet(geom.Pt(0, 0), geom.Pt(10, 5), geom.Pt(20, 31))
+	ra, rb := RanksOf(netA), RanksOf(netB)
+	_, ta := AppendCanonicalKey(nil, ra.Pattern)
+	_, tb := AppendCanonicalKey(nil, rb.Pattern)
+	// Same pattern, different geometry: the coordinate verification must
+	// refuse to produce a map.
+	if _, err := NewIsometry(ra, ta, rb, tb); err == nil {
+		t.Fatal("geometry mismatch accepted")
+	}
+}

@@ -77,8 +77,11 @@ func (p Params) Score(f Features) float64 {
 }
 
 // PinFeatures computes the features of candidate pin `pin` given the
-// source, per-pin tree path lengths, and the already selected pins.
-func PinFeatures(net tree.Net, treeDist map[int]int64, pin int, selected []int) Features {
+// source, per-pin tree path lengths (indexed by pin, as produced by
+// tree.Evaluator.SinkDelaysInto), and the already selected pins. The HPWL
+// term grows a bounding box incrementally, so scoring performs no
+// allocations.
+func PinFeatures(net tree.Net, treeDist []int64, pin int, selected []int) Features {
 	r := net.Source()
 	p := net.Pins[pin]
 	f := Features{
@@ -87,17 +90,16 @@ func PinFeatures(net tree.Net, treeDist map[int]int64, pin int, selected []int) 
 	}
 	if len(selected) > 0 {
 		minD := int64(1) << 62
-		pts := make([]geom.Point, 0, len(selected)+1)
-		pts = append(pts, p)
+		box := geom.RectOf(p)
 		for _, s := range selected {
 			q := net.Pins[s]
 			if d := geom.Dist(p, q); d < minD {
 				minD = d
 			}
-			pts = append(pts, q)
+			box = box.Include(q)
 		}
 		f.F3 = float64(minD)
-		f.F4 = float64(geom.HPWL(pts...))
+		f.F4 = float64(box.HalfPerimeter())
 	}
 	return f
 }
@@ -106,6 +108,16 @@ func PinFeatures(net tree.Net, treeDist map[int]int64, pin int, selected []int) 
 // score, using the tree t to supply the dist_T term. Returned pin indices
 // are sorted ascending.
 func Select(net tree.Net, t *tree.Tree, k int, params Params) []int {
+	ev := tree.GetEvaluator()
+	sel := SelectWith(net, t, k, params, ev)
+	tree.PutEvaluator(ev)
+	return sel
+}
+
+// SelectWith is Select evaluating tree path lengths through ev's scratch,
+// for callers (the local search) that score many trees with one
+// evaluator.
+func SelectWith(net tree.Net, t *tree.Tree, k int, params Params, ev *tree.Evaluator) []int {
 	n := net.Degree()
 	if k > n-1 {
 		k = n - 1
@@ -113,7 +125,7 @@ func Select(net tree.Net, t *tree.Tree, k int, params Params) []int {
 	if k <= 0 {
 		return nil
 	}
-	treeDist := t.SinkDelays()
+	treeDist := ev.SinkDelaysInto(t, n)
 	remaining := make([]int, 0, n-1)
 	for pin := 1; pin < n; pin++ {
 		remaining = append(remaining, pin)

@@ -74,7 +74,8 @@ func TestClamp(t *testing.T) {
 func TestPinFeaturesNoSelection(t *testing.T) {
 	net := tree.NewNet(geom.Pt(0, 0), geom.Pt(3, 4))
 	base := tree.Star(net)
-	f := PinFeatures(net, base.SinkDelays(), 1, nil)
+	ev := tree.NewEvaluator()
+	f := PinFeatures(net, ev.SinkDelaysInto(base, net.Degree()), 1, nil)
 	if f.F1 != 7 || f.F2 != 7 || f.F3 != 0 || f.F4 != 0 {
 		t.Fatalf("features = %+v", f)
 	}
@@ -126,7 +127,7 @@ func TestTrainProducesUsableParams(t *testing.T) {
 		// A toy objective: prefer selections whose pins are far from the
 		// source on the tree (correlates with F2).
 		Eval: func(net tree.Net, base *tree.Tree, sel []int) float64 {
-			d := base.SinkDelays()
+			d := tree.NewEvaluator().SinkDelaysInto(base, net.Degree())
 			var s float64
 			for _, pin := range sel {
 				s += float64(d[pin])

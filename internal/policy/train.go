@@ -50,6 +50,7 @@ func Train(cfg TrainConfig) (map[int]Params, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	out := make(map[int]Params, len(cfg.Degrees))
 	cur := DefaultParams(0) // warm start for the first degree
+	ev := tree.NewEvaluator()
 	for _, n := range cfg.Degrees {
 		if n < 3 {
 			return nil, fmt.Errorf("policy: cannot train degree %d", n)
@@ -59,7 +60,7 @@ func Train(cfg TrainConfig) (map[int]Params, error) {
 		for inst := 0; inst < cfg.Instances; inst++ {
 			net := cfg.Gen(rng, n)
 			base := cfg.Base(net)
-			treeDist := base.SinkDelays()
+			treeDist := ev.SinkDelaysInto(base, n)
 			for s := 0; s < cfg.Samples; s++ {
 				var sel []int
 				if s%2 == 0 {
@@ -86,7 +87,7 @@ func Train(cfg TrainConfig) (map[int]Params, error) {
 
 // selectionFeatures sums the per-pin features in selection order,
 // normalised by the selection size.
-func selectionFeatures(net tree.Net, treeDist map[int]int64, sel []int) Features {
+func selectionFeatures(net tree.Net, treeDist []int64, sel []int) Features {
 	var acc Features
 	for i, pin := range sel {
 		f := PinFeatures(net, treeDist, pin, sel[:i])

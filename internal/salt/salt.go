@@ -33,11 +33,24 @@ func Build(net tree.Net, eps float64) *tree.Tree {
 // shortcutting breaching sinks to the source, then Steinerises. The input
 // tree is not modified.
 func Rebalance(t *tree.Tree, net tree.Net, eps float64) *tree.Tree {
+	ev := tree.GetEvaluator()
+	out := RebalanceWith(t, net, eps, ev)
+	tree.PutEvaluator(ev)
+	return out
+}
+
+// RebalanceWith is Rebalance evaluating through ev's scratch, for callers
+// (the local search, Sweep) that rebalance across a whole ε grid with one
+// evaluator. Path lengths are computed interleaved with the shortcut
+// edits — a shortcut shortens the path of every downstream sink — so the
+// traversal order is snapshotted before any edit, exactly as the
+// original single-pass formulation.
+func RebalanceWith(t *tree.Tree, net tree.Net, eps float64, ev *tree.Evaluator) *tree.Tree {
 	out := t.Clone()
 	src := net.Source()
-	order := out.TopoOrder()
-	pl := make([]int64, out.Len())
-	for _, v := range order {
+	ev.Load(out)
+	pl := ev.LengthScratch(out.Len())
+	for _, v := range ev.Order() {
 		p := out.Parent[v]
 		if p < 0 {
 			continue
@@ -54,8 +67,8 @@ func Rebalance(t *tree.Tree, net tree.Net, eps float64) *tree.Tree {
 			pl[v] = direct
 		}
 	}
-	out.Compact()
-	out.Steinerize()
+	out.CompactWith(ev)
+	out.SteinerizeWith(ev)
 	return out
 }
 
@@ -71,17 +84,19 @@ func Sweep(net tree.Net, epsilons []float64) []pareto.Item[*tree.Tree] {
 	if len(epsilons) == 0 {
 		epsilons = DefaultEpsilons()
 	}
+	ev := tree.GetEvaluator()
+	defer tree.PutEvaluator(ev)
 	set := &pareto.Set[*tree.Tree]{}
 	base := rsmt.Tree(net)
 	for _, eps := range epsilons {
-		t := Rebalance(base, net, eps)
-		set.Add(t.Sol(), t)
+		t := RebalanceWith(base, net, eps, ev)
+		set.Add(ev.Sol(t), t)
 		// Wirelength-greedy variant: relocating Steiner points may trade
 		// delay for wirelength; offer it as another candidate.
 		v := t.Clone()
-		if v.RelocateSteiners() {
-			v.Steinerize()
-			set.Add(v.Sol(), v)
+		if v.RelocateSteinersWith(ev) {
+			v.SteinerizeWith(ev)
+			set.Add(ev.Sol(v), v)
 		}
 	}
 	return set.Items()

@@ -71,6 +71,14 @@ func MergeAtRoot(a, b *Tree) (*Tree, error) {
 // its subtree stays connected. The pin can then be re-routed and grafted
 // back. Removing the source pin (0) is rejected.
 func (t *Tree) RemovePin(pin int) error {
+	e := GetEvaluator()
+	err := t.RemovePinWith(pin, e)
+	PutEvaluator(e)
+	return err
+}
+
+// RemovePinWith is RemovePin compacting through e's scratch adjacency.
+func (t *Tree) RemovePinWith(pin int, e *Evaluator) error {
 	if pin == 0 {
 		return fmt.Errorf("tree: cannot remove the source pin")
 	}
@@ -84,6 +92,6 @@ func (t *Tree) RemovePin(pin int) error {
 	if !found {
 		return fmt.Errorf("tree: pin %d not present", pin)
 	}
-	t.Compact()
+	t.CompactWith(e)
 	return nil
 }

@@ -8,14 +8,22 @@ import "patlabor/internal/geom"
 // increase wirelength or any source-sink path length. Node indices are
 // renumbered; the root keeps realising the source pin.
 func (t *Tree) Compact() {
+	e := GetEvaluator()
+	t.CompactWith(e)
+	PutEvaluator(e)
+}
+
+// CompactWith is Compact evaluating through e's scratch adjacency, for
+// callers that run many passes with one evaluator.
+func (t *Tree) CompactWith(e *Evaluator) {
 	for {
-		ch := t.Children()
+		e.Load(t)
 		victim := -1
 		for i, nd := range t.Nodes {
 			if i == t.Root {
 				continue
 			}
-			if nd.IsSteiner() && len(ch[i]) <= 1 {
+			if nd.IsSteiner() && len(e.Children(i)) <= 1 {
 				victim = i
 				break
 			}
@@ -26,7 +34,7 @@ func (t *Tree) Compact() {
 			if !nd.IsSteiner() && t.Nodes[p].IsSteiner() && t.Nodes[p].P == nd.P {
 				t.Nodes[p].Pin = nd.Pin
 				t.Nodes[i].Pin = -1
-				if len(ch[i]) <= 1 {
+				if len(e.Children(i)) <= 1 {
 					victim = i
 					break
 				}
@@ -36,7 +44,7 @@ func (t *Tree) Compact() {
 			return
 		}
 		// Splice: reattach the (at most one) child to victim's parent.
-		for _, c := range ch[victim] {
+		for _, c := range e.Children(victim) {
 			t.Parent[c] = t.Parent[victim]
 		}
 		t.remove(victim)
@@ -71,16 +79,23 @@ func (t *Tree) remove(i int) {
 // while leaving every source-sink path length unchanged. The pass greedily
 // applies the best saving until none remains, then compacts.
 func (t *Tree) Steinerize() {
+	e := GetEvaluator()
+	t.SteinerizeWith(e)
+	PutEvaluator(e)
+}
+
+// SteinerizeWith is Steinerize evaluating through e's scratch adjacency.
+func (t *Tree) SteinerizeWith(e *Evaluator) {
 	for {
-		ch := t.Children()
+		e.Load(t)
 		bestGain := int64(0)
 		bestV, bestA, bestB := -1, -1, -1
 		var bestS geom.Point
 		for v := range t.Nodes {
-			kids := ch[v]
+			kids := e.Children(v)
 			for i := 0; i < len(kids); i++ {
 				for j := i + 1; j < len(kids); j++ {
-					a, b := kids[i], kids[j]
+					a, b := int(kids[i]), int(kids[j])
 					s := medianOf3(t.Nodes[v].P, t.Nodes[a].P, t.Nodes[b].P)
 					gain := geom.Dist(t.Nodes[v].P, s)
 					if gain > bestGain {
@@ -96,7 +111,7 @@ func (t *Tree) Steinerize() {
 		t.Parent[bestA] = s
 		t.Parent[bestB] = s
 	}
-	t.Compact()
+	t.CompactWith(e)
 }
 
 func medianOf3(a, b, c geom.Point) geom.Point {
@@ -122,24 +137,34 @@ func med3(a, b, c int64) int64 {
 // should treat the result as a candidate and Pareto-filter it against the
 // original. It reports whether any node moved.
 func (t *Tree) RelocateSteiners() bool {
+	e := GetEvaluator()
+	moved := t.RelocateSteinersWith(e)
+	PutEvaluator(e)
+	return moved
+}
+
+// RelocateSteinersWith is RelocateSteiners evaluating through e's
+// scratch adjacency. Relocation only moves coordinates, never edges, so
+// the adjacency is loaded once for all passes.
+func (t *Tree) RelocateSteinersWith(e *Evaluator) bool {
 	moved := false
+	e.Load(t)
 	for pass := 0; pass < len(t.Nodes); pass++ {
-		ch := t.Children()
 		changed := false
 		for i, nd := range t.Nodes {
 			if !nd.IsSteiner() || i == t.Root {
 				continue
 			}
-			nbr := []geom.Point{t.Nodes[t.Parent[i]].P}
-			for _, c := range ch[i] {
-				nbr = append(nbr, t.Nodes[c].P)
+			e.nbr = append(e.nbr[:0], t.Nodes[t.Parent[i]].P)
+			for _, c := range e.Children(i) {
+				e.nbr = append(e.nbr, t.Nodes[c].P)
 			}
-			m := geom.MedianPoint(nbr)
+			m := e.medianPoint(e.nbr)
 			if m == nd.P {
 				continue
 			}
-			before := localWL(nd.P, nbr)
-			after := localWL(m, nbr)
+			before := localWL(nd.P, e.nbr)
+			after := localWL(m, e.nbr)
 			if after < before {
 				t.Nodes[i].P = m
 				changed = true

@@ -1,0 +1,114 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSteinerizeProperties checks the invariants Steinerize promises on
+// arbitrary valid trees: the result still validates against its net, the
+// wirelength never increases, and the objective vector agrees with a
+// from-scratch re-evaluation through the Evaluator.
+func TestSteinerizeProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	ev := NewEvaluator()
+	for trial := 0; trial < 150; trial++ {
+		n := 2 + rng.Intn(20)
+		net := randomNet(rng, n, 2500)
+		var tr *Tree
+		if trial%2 == 0 {
+			tr = Star(net)
+		} else {
+			tr = randomTopology(rng, net)
+		}
+		before := tr.Wirelength()
+
+		tr.Steinerize()
+
+		if err := tr.Validate(net); err != nil {
+			t.Fatalf("trial %d: Steinerize broke validity: %v", trial, err)
+		}
+		if after := tr.Wirelength(); after > before {
+			t.Fatalf("trial %d: Steinerize increased wirelength %d -> %d", trial, before, after)
+		}
+		if got, want := tr.Sol(), ev.Sol(tr); got != want {
+			t.Fatalf("trial %d: Sol %v inconsistent with re-evaluation %v", trial, got, want)
+		}
+	}
+}
+
+// TestRelocateSteinersProperties checks the same invariants for the
+// Steiner-point relocation pass, which moves coordinates but never edges.
+func TestRelocateSteinersProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	ev := NewEvaluator()
+	for trial := 0; trial < 150; trial++ {
+		n := 3 + rng.Intn(18)
+		net := randomNet(rng, n, 2500)
+		tr := randomTopology(rng, net)
+		tr.Steinerize()
+		before := tr.Wirelength()
+		structure := append([]int(nil), tr.Parent...)
+
+		tr.RelocateSteiners()
+
+		if err := tr.Validate(net); err != nil {
+			t.Fatalf("trial %d: RelocateSteiners broke validity: %v", trial, err)
+		}
+		if after := tr.Wirelength(); after > before {
+			t.Fatalf("trial %d: RelocateSteiners increased wirelength %d -> %d", trial, before, after)
+		}
+		for i, p := range tr.Parent {
+			if p != structure[i] {
+				t.Fatalf("trial %d: RelocateSteiners changed the edge set at node %d", trial, i)
+			}
+		}
+		if got, want := tr.Sol(), ev.Sol(tr); got != want {
+			t.Fatalf("trial %d: Sol %v inconsistent with re-evaluation %v", trial, got, want)
+		}
+	}
+}
+
+// TestCompactProperties checks that Compact preserves validity and the
+// realised connectivity: wirelength never grows (it only removes dead
+// Steiner nodes and splices pass-throughs) and every pin keeps its delay.
+func TestCompactProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	ev := NewEvaluator()
+	for trial := 0; trial < 150; trial++ {
+		n := 2 + rng.Intn(20)
+		net := randomNet(rng, n, 2500)
+		tr := randomTopology(rng, net)
+		tr.Steinerize()
+		// Orphan a few pins into Steiner points, as RemovePin does, so
+		// Compact has real work.
+		for i := range tr.Nodes {
+			if tr.Nodes[i].Pin >= 1 && rng.Intn(4) == 0 {
+				tr.Nodes[i].Pin = -1
+			}
+		}
+		pins := map[int]bool{}
+		for _, nd := range tr.Nodes {
+			if nd.Pin >= 0 {
+				pins[nd.Pin] = true
+			}
+		}
+		beforeDelay := ev.SinkDelaysInto(tr, n)
+		beforeKept := make([]int64, n)
+		copy(beforeKept, beforeDelay)
+		before := tr.Wirelength()
+
+		tr.Compact()
+
+		if after := tr.Wirelength(); after > before {
+			t.Fatalf("trial %d: Compact increased wirelength %d -> %d", trial, before, after)
+		}
+		afterDelay := ev.SinkDelaysInto(tr, n)
+		for pin := range pins {
+			if afterDelay[pin] > beforeKept[pin] {
+				t.Fatalf("trial %d: Compact increased pin %d delay %d -> %d",
+					trial, pin, beforeKept[pin], afterDelay[pin])
+			}
+		}
+	}
+}

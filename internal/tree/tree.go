@@ -141,6 +141,10 @@ func (t *Tree) Sol() pareto.Sol {
 
 // SinkDelays returns path lengths keyed by pin index, for pins present in
 // the tree (including the source at delay of its tree position).
+//
+// Deprecated: the map allocation makes this unsuitable for hot paths; use
+// Evaluator.SinkDelaysInto, which returns a reusable pin-indexed slice
+// with the same max-over-duplicates semantics (absent pins read 0).
 func (t *Tree) SinkDelays() map[int]int64 {
 	d := t.PathLengths()
 	out := make(map[int]int64)

@@ -79,6 +79,11 @@ type Options struct {
 	TablePath string
 	// PolicyParams overrides the trained pin-selection policy weights.
 	PolicyParams *PolicyParams
+	// NoCache disables the local search's sub-frontier memo and, for
+	// batch routing, the cross-net dedup. Frontiers are byte-identical
+	// either way; the flag exists for A-B benchmarking and for runs that
+	// must not retain per-batch cache memory.
+	NoCache bool
 }
 
 // PolicyParams are the four selection-policy weights of §V-B.
@@ -165,6 +170,7 @@ func prepareOptions(opts Options) (core.Options, error) {
 		Lambda:     opts.Lambda,
 		Iterations: opts.Iterations,
 		Params:     opts.PolicyParams,
+		NoCache:    opts.NoCache,
 	}
 	if opts.TablePath != "" {
 		t, err := loadTable(opts.TablePath)
@@ -263,6 +269,7 @@ func engineOptions(opts Options, workers int) (engine.Options, error) {
 		Lambda:     opts.Lambda,
 		Iterations: opts.Iterations,
 		Params:     opts.PolicyParams,
+		NoCache:    opts.NoCache,
 	}
 	if opts.TablePath != "" {
 		t, err := loadTable(opts.TablePath)

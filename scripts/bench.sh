@@ -1,22 +1,63 @@
 #!/usr/bin/env bash
-# Runs the lookup-table query benchmark suite and records the performance
-# trajectory in BENCH_PR2.json: the frozen pre-PR-2 baseline (the
-# materialize-every-topology Query) next to the numbers measured on the
-# current tree. CI hosts vary, so compare the measured block against a
-# baseline re-measured on the same machine when absolute numbers matter;
-# the allocs/op column is machine independent.
+# Runs one of the repo's benchmark suites and records the performance
+# trajectory in a BENCH_PR<N>.json file: the frozen pre-PR baseline next
+# to the numbers measured on the current tree. CI hosts vary, so compare
+# the measured block against a baseline re-measured on the same machine
+# when absolute numbers matter; the allocs/op column is machine
+# independent.
 #
-# Usage: scripts/bench.sh [output.json]
+# Usage: scripts/bench.sh [pr2|pr4] [output.json]
+#
+#   pr2 (default)  BenchmarkLUTQuery — the symbolic-first lookup-table
+#                  query fast path (baseline: materialize-every-topology
+#                  Query).
+#   pr4            BenchmarkLocalSearch — the large-net local search
+#                  (baseline: per-call allocation of adjacency and delay
+#                  structures, no sub-frontier memo).
 set -euo pipefail
 cd "$(dirname "$0")/.."
-OUT="${1:-BENCH_PR2.json}"
-TMP="$(mktemp)"
-trap 'rm -f "$TMP"' EXIT
 
-go test -run '^$' -bench 'BenchmarkLUTQuery' -benchmem . | tee "$TMP"
+SUITE="${1:-pr2}"
+BASEFILE="$(mktemp)"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP" "$BASEFILE"' EXIT
+
+case "$SUITE" in
+  pr2)
+    PATTERN='BenchmarkLUTQuery'
+    OUT="${2:-BENCH_PR2.json}"
+    BASELINE_KEY="baseline_pre_pr2"
+    cat > "$BASEFILE" <<'EOF'
+    "note": "materialize-every-topology Query, measured at the PR 2 branch point (Intel Xeon @ 2.10GHz)",
+    "BenchmarkLUTQuery/degree=2": {"ns_op": 2155, "b_op": 856, "allocs_op": 61},
+    "BenchmarkLUTQuery/degree=3": {"ns_op": 2689, "b_op": 1344, "allocs_op": 69},
+    "BenchmarkLUTQuery/degree=4": {"ns_op": 4479, "b_op": 2960, "allocs_op": 103},
+    "BenchmarkLUTQuery/degree=5": {"ns_op": 11864, "b_op": 8294, "allocs_op": 230},
+    "BenchmarkLUTQueryDegree5": {"ns_op": 10566, "b_op": 4496, "allocs_op": 137}
+EOF
+    ;;
+  pr4)
+    PATTERN='BenchmarkLocalSearch'
+    OUT="${2:-BENCH_PR4.json}"
+    BASELINE_KEY="baseline_pre_pr4"
+    cat > "$BASEFILE" <<'EOF'
+    "note": "per-call Children()/SinkDelays() allocation, no sub-frontier memo, measured at the PR 4 branch point (Intel Xeon @ 2.10GHz)",
+    "BenchmarkLocalSearch/degree=16": {"ns_op": 46047651, "b_op": 9888755, "allocs_op": 89755},
+    "BenchmarkLocalSearch/degree=32": {"ns_op": 174141133, "b_op": 52759127, "allocs_op": 312043},
+    "BenchmarkLocalSearch/degree=64": {"ns_op": 265924169, "b_op": 59694168, "allocs_op": 683395}
+EOF
+    ;;
+  *)
+    echo "unknown suite: $SUITE (want pr2 or pr4)" >&2
+    exit 2
+    ;;
+esac
+
+go test -run '^$' -bench "$PATTERN" -benchmem . | tee "$TMP"
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
-    -v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" '
+    -v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+    -v pattern="$PATTERN" -v basekey="$BASELINE_KEY" -v basefile="$BASEFILE" '
   /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
@@ -27,14 +68,9 @@ awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
     printf "{\n"
     printf "  \"date\": \"%s\",\n", date
     printf "  \"commit\": \"%s\",\n", commit
-    printf "  \"benchmark\": \"go test -bench BenchmarkLUTQuery -benchmem\",\n"
-    printf "  \"baseline_pre_pr2\": {\n"
-    printf "    \"note\": \"materialize-every-topology Query, measured at the PR 2 branch point (Intel Xeon @ 2.10GHz)\",\n"
-    printf "    \"BenchmarkLUTQuery/degree=2\": {\"ns_op\": 2155, \"b_op\": 856, \"allocs_op\": 61},\n"
-    printf "    \"BenchmarkLUTQuery/degree=3\": {\"ns_op\": 2689, \"b_op\": 1344, \"allocs_op\": 69},\n"
-    printf "    \"BenchmarkLUTQuery/degree=4\": {\"ns_op\": 4479, \"b_op\": 2960, \"allocs_op\": 103},\n"
-    printf "    \"BenchmarkLUTQuery/degree=5\": {\"ns_op\": 11864, \"b_op\": 8294, \"allocs_op\": 230},\n"
-    printf "    \"BenchmarkLUTQueryDegree5\": {\"ns_op\": 10566, \"b_op\": 4496, \"allocs_op\": 137}\n"
+    printf "  \"benchmark\": \"go test -bench %s -benchmem\",\n", pattern
+    printf "  \"%s\": {\n", basekey
+    while ((getline line < basefile) > 0) print line
     printf "  },\n"
     printf "  \"measured\": {\n"
     for (i = 0; i < n; i++) {
