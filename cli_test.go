@@ -128,3 +128,27 @@ func TestCLIMethodTimeout(t *testing.T) {
 		t.Fatalf("experiments expired deadline output: %s", out)
 	}
 }
+
+func TestCLIPatlint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	// The repository itself lints clean (the CI gate).
+	out := runCLI(t, "./cmd/patlint", "./...")
+	if strings.TrimSpace(out) != "" {
+		t.Fatalf("patlint on clean repo produced output:\n%s", out)
+	}
+	// Every seeded-violation fixture makes the driver exit nonzero with
+	// diagnostics in the canonical format.
+	for _, fixture := range []string{"exactness", "determinism", "sorthygiene", "ctxrules", "ignore"} {
+		out = runCLIErr(t, "./cmd/patlint", "internal/patlint/testdata/"+fixture)
+		if !strings.Contains(out, "patlint(") {
+			t.Fatalf("fixture %s: no diagnostics in output:\n%s", fixture, out)
+		}
+	}
+	// The allowlisted-package fixture exits zero: floats are fine there.
+	out = runCLI(t, "./cmd/patlint", "internal/patlint/testdata/allowed")
+	if strings.TrimSpace(out) != "" {
+		t.Fatalf("patlint on allowed fixture produced output:\n%s", out)
+	}
+}

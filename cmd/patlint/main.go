@@ -1,0 +1,58 @@
+// Command patlint runs the PatLabor domain-invariant static-analysis
+// suite over the module: exact int64 arithmetic in the exact packages,
+// deterministic map-iteration output, no wall-clock/rand in algorithm
+// packages, slices.SortFunc instead of reflection-based sort.Slice, and
+// context propagation discipline in the routing packages.
+//
+// Usage:
+//
+//	go run ./cmd/patlint ./...                # whole module (CI gate)
+//	go run ./cmd/patlint internal/pareto      # one package
+//	go run ./cmd/patlint internal/...         # a subtree
+//
+// Exit status: 0 clean, 1 findings, 2 load/usage error. Findings print as
+//
+//	pkg/file.go:line: patlint(rule): message
+//
+// and are suppressed with `//patlint:ignore <rule> <reason>` on (or
+// above) the offending line, or in the doc comment of the declaration.
+// See internal/patlint for the rule catalog.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"patlabor/internal/patlint"
+)
+
+func main() {
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	l, err := patlint.NewLoader(wd)
+	if err != nil {
+		fatal(err)
+	}
+	diags, err := patlint.Check(l, patterns)
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Println(d.Format(l.Root))
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "patlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}

@@ -12,7 +12,8 @@
 package embed
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"patlabor/internal/geom"
 	"patlabor/internal/tree"
@@ -110,7 +111,14 @@ func MetalLength(segs []Segment) int64 {
 
 // unionLength returns the measure of the union of 1-D intervals.
 func unionLength(ivs [][2]int64) int64 {
-	sort.Slice(ivs, func(i, j int) bool { return ivs[i][0] < ivs[j][0] })
+	// Total order on (lo, hi); the union measure is tie-insensitive but
+	// the deterministic order keeps the sweep reproducible.
+	slices.SortFunc(ivs, func(a, b [2]int64) int {
+		if c := cmp.Compare(a[0], b[0]); c != 0 {
+			return c
+		}
+		return cmp.Compare(a[1], b[1])
+	})
 	var total int64
 	curLo, curHi := ivs[0][0], ivs[0][1]
 	for _, iv := range ivs[1:] {

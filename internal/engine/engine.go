@@ -249,6 +249,11 @@ func (e *Engine) RouteAll(ctx context.Context, nets []tree.Net) ([]Result, error
 	var dups collector
 	if err == nil && assigns != nil {
 		for i := range assigns {
+			// The synthesis pass can span thousands of nets; a cancelled
+			// batch must stop here too, not just in the worker pool.
+			if err = ctx.Err(); err != nil {
+				break
+			}
 			a := assigns[i]
 			if a.rep == i {
 				continue

@@ -3,7 +3,7 @@ package exp
 import (
 	"context"
 	"fmt"
-	"sort"
+	"slices"
 	"strconv"
 	"time"
 
@@ -192,7 +192,7 @@ func RunSmall(ctx context.Context, cfg Config, designs []netgen.Design) (*SmallR
 	for d := 4; d <= 9; d++ {
 		res.Agg = append(res.Agg, aggBy[d])
 	}
-	sort.Slice(res.Agg, func(i, j int) bool { return res.Agg[i].Degree < res.Agg[j].Degree })
+	slices.SortFunc(res.Agg, func(a, b *DegreeAgg) int { return a.Degree - b.Degree })
 
 	// Figure 6: linear fit of max frontier size vs degree.
 	var xs, ys []float64

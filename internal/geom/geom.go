@@ -6,7 +6,7 @@ package geom
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Point is a point in the rectilinear plane.
@@ -156,7 +156,7 @@ func Median(xs []int64) int64 {
 		panic("geom: Median of empty slice")
 	}
 	cp := append([]int64(nil), xs...)
-	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	slices.Sort(cp)
 	return cp[(len(cp)-1)/2]
 }
 
@@ -185,7 +185,7 @@ func SortUnique(xs []int64) []int64 {
 	if len(xs) == 0 {
 		return xs
 	}
-	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	slices.Sort(xs)
 	out := xs[:1]
 	for _, x := range xs[1:] {
 		if x != out[len(out)-1] {

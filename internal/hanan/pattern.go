@@ -1,8 +1,9 @@
 package hanan
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"patlabor/internal/geom"
 	"patlabor/internal/tree"
@@ -102,12 +103,13 @@ func rankBy(pins []geom.Point, coord func(geom.Point) int64) []int {
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.SliceStable(idx, func(a, b int) bool {
-		ca, cb := coord(pins[idx[a]]), coord(pins[idx[b]])
-		if ca != cb {
-			return ca < cb
+	// Total order: coordinate, then pin index — no equal keys, so the
+	// unstable monomorphised sort is deterministic.
+	slices.SortFunc(idx, func(x, y int) int {
+		if c := cmp.Compare(coord(pins[x]), coord(pins[y])); c != 0 {
+			return c
 		}
-		return idx[a] < idx[b]
+		return cmp.Compare(x, y)
 	})
 	rank := make([]int, n)
 	for r, pin := range idx {

@@ -11,9 +11,10 @@
 package ks
 
 import (
+	"cmp"
 	"context"
 	"fmt"
-	"sort"
+	"slices"
 
 	"patlabor/internal/dw"
 	"patlabor/internal/geom"
@@ -121,18 +122,20 @@ func route(ctx context.Context, net tree.Net, pins []int, leaf int, opt Options,
 	src := pins[0]
 	sinks := append([]int(nil), pins[1:]...)
 	axis := depth % 2
-	sort.SliceStable(sinks, func(a, b int) bool {
-		pa, pb := net.Pins[sinks[a]], net.Pins[sinks[b]]
+	// Stable on the full (axis, off-axis) coordinate key: coincident pins
+	// keep their input order, which is itself deterministic.
+	slices.SortStableFunc(sinks, func(x, y int) int {
+		pa, pb := net.Pins[x], net.Pins[y]
 		if axis == 0 {
-			if pa.X != pb.X {
-				return pa.X < pb.X
+			if c := cmp.Compare(pa.X, pb.X); c != 0 {
+				return c
 			}
-			return pa.Y < pb.Y
+			return cmp.Compare(pa.Y, pb.Y)
 		}
-		if pa.Y != pb.Y {
-			return pa.Y < pb.Y
+		if c := cmp.Compare(pa.Y, pb.Y); c != 0 {
+			return c
 		}
-		return pa.X < pb.X
+		return cmp.Compare(pa.X, pb.X)
 	})
 	mid := len(sinks) / 2
 	nearSinks, farSinks := sinks[:mid], sinks[mid:]
@@ -173,6 +176,10 @@ func route(ctx context.Context, net tree.Net, pins []int, leaf int, opt Options,
 	c := geom.Dist(net.Pins[src], net.Pins[g])
 	set := &pareto.Set[*tree.Tree]{}
 	for _, a := range s1 {
+		// |s1|×|s2| clone+graft work: honour cancellation between rows.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for _, b := range s2 {
 			sol := pareto.Sol{
 				W: a.Sol.W + b.Sol.W + c,

@@ -1,9 +1,10 @@
 package param
 
 import (
+	"cmp"
 	"fmt"
 	"math/bits"
-	"sort"
+	"slices"
 
 	"patlabor/internal/hanan"
 )
@@ -237,12 +238,12 @@ func (e *enum) run() []int32 {
 	for q := 1; q <= full; q++ {
 		order = append(order, q)
 	}
-	sort.Slice(order, func(i, j int) bool {
-		bi, bj := bits.OnesCount(uint(order[i])), bits.OnesCount(uint(order[j]))
-		if bi != bj {
-			return bi < bj
+	// Total order: popcount, then subset value — the values are distinct.
+	slices.SortFunc(order, func(x, y int) int {
+		if c := cmp.Compare(bits.OnesCount(uint(x)), bits.OnesCount(uint(y))); c != 0 {
+			return c
 		}
-		return order[i] < order[j]
+		return cmp.Compare(x, y)
 	})
 
 	dim := 2 * (e.n - 1)
@@ -362,7 +363,14 @@ func (e *enum) boundarySplits(q, low int) []int {
 			ms = append(ms, member{s, e.bpos[s]})
 		}
 	}
-	sort.Slice(ms, func(i, j int) bool { return ms[i].pos < ms[j].pos })
+	// Total order: boundary position, then sink slot (positions are
+	// distinct for distinct pins; the slot tie-break makes it explicit).
+	slices.SortFunc(ms, func(a, b member) int {
+		if c := cmp.Compare(a.pos, b.pos); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.s, b.s)
+	})
 	k := len(ms)
 	seen := map[int]bool{}
 	var out []int
@@ -459,7 +467,9 @@ func (e *enum) filterPush(cand []sent) []int32 {
 		cand[i].fp = e.fingerprint(cand[i].sol)
 	}
 	// Sort by probe-0 wirelength then delay: cheap dominance order.
-	sort.SliceStable(cand, func(a, b int) bool { return cand[a].fp[0] < cand[b].fp[0] })
+	// Stable on the probe-0 key alone: equal-fingerprint candidates keep
+	// arena order, which the dedup pass relies on.
+	slices.SortStableFunc(cand, func(a, b sent) int { return cmp.Compare(a.fp[0], b.fp[0]) })
 	kept := make([]int, 0, 16)
 	for i := range cand {
 		pruned := false

@@ -2,7 +2,7 @@ package param
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"patlabor/internal/geom"
 	"patlabor/internal/hanan"
@@ -44,11 +44,12 @@ func (t Topology) Canon() string {
 		}
 		edges = append(edges, edge{a, b})
 	}
-	sort.Slice(edges, func(x, y int) bool {
-		if edges[x].a != edges[y].a {
-			return less(edges[x].a, edges[y].a)
+	// Total order: (a, b) lexicographic — tree edges are distinct.
+	slices.SortFunc(edges, func(x, y edge) int {
+		if c := cmp3(x.a, y.a); c != 0 {
+			return c
 		}
-		return less(edges[x].b, edges[y].b)
+		return cmp3(x.b, y.b)
 	})
 	buf := make([]byte, 0, 6*len(edges)+3)
 	r := key(0)
@@ -60,13 +61,16 @@ func (t Topology) Canon() string {
 	return string(buf)
 }
 
-func less(a, b [3]int8) bool {
+func less(a, b [3]int8) bool { return cmp3(a, b) < 0 }
+
+// cmp3 is the three-way lexicographic order on rank-node keys.
+func cmp3(a, b [3]int8) int {
 	for k := 0; k < 3; k++ {
 		if a[k] != b[k] {
-			return a[k] < b[k]
+			return int(a[k]) - int(b[k])
 		}
 	}
-	return false
+	return 0
 }
 
 // Solution computes the parameterised (W, D) form of the topology for a

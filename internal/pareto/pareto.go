@@ -9,8 +9,9 @@
 package pareto
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Sol is one solution's objective vector: total wirelength W and delay D
@@ -38,9 +39,19 @@ func (s Sol) Less(t Sol) bool {
 	return s.D < t.D
 }
 
+// Compare is the three-way form of Less: a total order on solution
+// vectors, lexicographic by (W, D). It is the comparator every canonical
+// sort in the library uses.
+func (s Sol) Compare(t Sol) int {
+	if c := cmp.Compare(s.W, t.W); c != 0 {
+		return c
+	}
+	return cmp.Compare(s.D, t.D)
+}
+
 // SortSols sorts sols in place in canonical (W asc, D asc) order.
 func SortSols(sols []Sol) {
-	sort.Slice(sols, func(i, j int) bool { return sols[i].Less(sols[j]) })
+	slices.SortFunc(sols, Sol.Compare)
 }
 
 // Filter returns the Pareto frontier of sols: all solutions not strictly
@@ -140,6 +151,8 @@ func CountCovered(found, truth []Sol) int {
 // Hypervolume returns the area dominated by the frontier within the
 // rectangle bounded by ref (solutions worse than ref contribute only the
 // part inside). Larger is better. The frontier need not be filtered.
+//
+//patlint:ignore exact quality indicator reported to harnesses only; never feeds routing arithmetic
 func Hypervolume(sols []Sol, ref Sol) float64 {
 	// Iterate the filtered frontier in W order; each solution contributes a
 	// horizontal strip of height (prevD - s.D) truncated at ref.
@@ -171,6 +184,8 @@ func Hypervolume(sols []Sol, ref Sol) float64 {
 // of the paper). It returns +Inf-like value 1e18 when found is empty, and 1
 // when found covers truth exactly. Zero-valued objectives in truth are
 // treated as requiring exact attainment.
+//
+//patlint:ignore exact quality indicator reported to harnesses only; never feeds routing arithmetic
 func ApproxRatio(found, truth []Sol) float64 {
 	if len(truth) == 0 {
 		return 1

@@ -1,6 +1,9 @@
 package pareto
 
-import "sort"
+import (
+	"slices"
+	"sort"
+)
 
 // Item attaches an arbitrary payload (typically a routing tree) to a
 // solution vector, so algorithms can maintain Pareto sets of concrete
@@ -18,7 +21,9 @@ func FilterItems[T any](items []Item[T]) []Item[T] {
 		return nil
 	}
 	cp := append([]Item[T](nil), items...)
-	sort.SliceStable(cp, func(i, j int) bool { return cp[i].Sol.Less(cp[j].Sol) })
+	// Stable on the total (W, D) order: items with identical objective
+	// vectors keep their input order, so the first stays the winner.
+	slices.SortStableFunc(cp, func(a, b Item[T]) int { return a.Sol.Compare(b.Sol) })
 	out := cp[:0]
 	bestD := int64(1<<63 - 1)
 	for _, it := range cp {

@@ -1,0 +1,183 @@
+package patlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// checkNonDet flags the two nondeterminism sources that must never reach
+// an algorithm package outside _test.go files (test files are not loaded):
+// wall-clock reads (time.Now, time.Since) and math/rand imports. Routed
+// results must be pure functions of the input net.
+func checkNonDet(p *Package, report func(token.Pos, string, string)) {
+	info := p.Info
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				report(imp.Pos(), RuleNonDet,
+					fmt.Sprintf("import of %s in algorithm package (results must be deterministic; seed-free randomness is banned)", path))
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || pkgNameOf(info, sel.X) != "time" {
+				return true
+			}
+			if name := sel.Sel.Name; name == "Now" || name == "Since" {
+				report(sel.Pos(), RuleNonDet,
+					fmt.Sprintf("time.%s in algorithm package (wall-clock reads make runs nondeterministic)", name))
+			}
+			return true
+		})
+	}
+}
+
+// checkMapRange flags `range` statements over maps whose iteration order
+// escapes into a slice: an append inside the loop body targeting a slice
+// declared outside the loop, with no subsequent sort.*/slices.* call over
+// that slice later in the same function. The sorted-keys idiom
+// (collect keys, sort, then index the map) passes; a bare
+// `for k, v := range m { out = append(out, v) }` does not.
+func checkMapRange(p *Package, report func(token.Pos, string, string)) {
+	info := p.Info
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkMapRangeFunc(info, fd.Body, report)
+		}
+	}
+}
+
+func checkMapRangeFunc(info *types.Info, body *ast.BlockStmt, report func(token.Pos, string, string)) {
+	var ranges []*ast.RangeStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if rs, ok := n.(*ast.RangeStmt); ok {
+			if tv, ok := info.Types[rs.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					ranges = append(ranges, rs)
+				}
+			}
+		}
+		return true
+	})
+	for _, rs := range ranges {
+		targets := appendTargets(info, rs)
+		for _, tgt := range targets {
+			if !sortedAfter(info, body, rs.End(), tgt) {
+				report(rs.Pos(), RuleMapRange,
+					fmt.Sprintf("map iteration order flows into %q with no subsequent sort (output order is nondeterministic)", tgt))
+			}
+		}
+	}
+}
+
+// appendTargets returns the printed form of every slice expression that an
+// append inside the range body grows, when its root variable is declared
+// outside the loop (a per-iteration local cannot leak iteration order).
+func appendTargets(info *types.Info, rs *ast.RangeStmt) []string {
+	var out []string
+	seen := make(map[string]bool)
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || !isBuiltinAppend(info, call) || i >= len(as.Lhs) {
+				continue
+			}
+			lhs := as.Lhs[i]
+			root := rootIdent(lhs)
+			if root == nil {
+				continue
+			}
+			obj := info.Uses[root]
+			if obj == nil {
+				obj = info.Defs[root]
+			}
+			// Declared inside the loop body → per-iteration local, fine.
+			if obj == nil || (obj.Pos() >= rs.Pos() && obj.Pos() < rs.End()) {
+				continue
+			}
+			key := types.ExprString(lhs)
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, key)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// sortedAfter reports whether, after position pos in the function body,
+// some sort.*/slices.* call receives an argument printed exactly as tgt.
+func sortedAfter(info *types.Info, body *ast.BlockStmt, pos token.Pos, tgt string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if pkg := pkgNameOf(info, sel.X); pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if types.ExprString(arg) == tgt {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isBuiltinAppend reports whether call invokes the built-in append.
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// rootIdent returns the leftmost identifier of an lvalue expression
+// (x, x.f, x[i].f → x), or nil for anything else.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}

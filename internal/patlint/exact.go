@@ -1,0 +1,136 @@
+package patlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// checkExact enforces the exact-arithmetic invariant: inside an exact
+// package no float32/float64/complex value may flow through the code.
+// It reports:
+//   - float and imaginary literals;
+//   - any use of the universe types float32/float64/complex64/complex128
+//     (declarations, conversions, struct fields, signatures);
+//   - math.* selectors other than integer constants (math.MaxInt64 and
+//     friends are exact and allowed; math.Sqrt, math.Pi, math.Inf are not);
+//   - calls to functions from other packages whose results carry floats
+//     (value flow that never names a float type, e.g. `x := stats.Mean(v)`).
+func checkExact(p *Package, report func(token.Pos, string, string)) {
+	info := p.Info
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BasicLit:
+				if n.Kind == token.FLOAT || n.Kind == token.IMAG {
+					report(n.Pos(), RuleExact,
+						fmt.Sprintf("floating-point literal %s in exact package (int64 arithmetic only)", n.Value))
+				}
+			case *ast.Ident:
+				if obj := info.Uses[n]; obj != nil && isUniverseFloat(obj) {
+					report(n.Pos(), RuleExact,
+						fmt.Sprintf("use of %s in exact package (int64 arithmetic only)", n.Name))
+				}
+			case *ast.SelectorExpr:
+				if pkgNameOf(info, n.X) != "math" {
+					return true
+				}
+				obj := info.Uses[n.Sel]
+				if obj == nil {
+					return true
+				}
+				if c, ok := obj.(*types.Const); ok && c.Val().Kind() == constant.Int {
+					return true // math.MaxInt64 etc. are exact
+				}
+				report(n.Pos(), RuleExact,
+					fmt.Sprintf("math.%s in exact package (floating-point math is banned; use exact int64 helpers)", n.Sel.Name))
+				return false
+			case *ast.CallExpr:
+				if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+					if obj := info.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil &&
+						obj.Pkg() != p.Pkg && obj.Pkg().Path() != "math" {
+						if fn, ok := obj.(*types.Func); ok && signatureHasFloatResult(fn) {
+							report(n.Pos(), RuleExact,
+								fmt.Sprintf("call to %s.%s returns floating point in exact package", obj.Pkg().Name(), sel.Sel.Name))
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isUniverseFloat reports whether obj is one of the built-in inexact types.
+func isUniverseFloat(obj types.Object) bool {
+	if obj.Parent() != types.Universe {
+		return false
+	}
+	switch obj.Name() {
+	case "float32", "float64", "complex64", "complex128":
+		return true
+	}
+	return false
+}
+
+// signatureHasFloatResult reports whether any result of fn carries a
+// floating-point component.
+func signatureHasFloatResult(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if typeHasFloat(res.At(i).Type(), make(map[types.Type]bool)) {
+			return true
+		}
+	}
+	return false
+}
+
+// typeHasFloat walks a type looking for an inexact basic component.
+func typeHasFloat(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch t := t.Underlying().(type) {
+	case *types.Basic:
+		switch t.Kind() {
+		case types.Float32, types.Float64, types.Complex64, types.Complex128,
+			types.UntypedFloat, types.UntypedComplex:
+			return true
+		}
+	case *types.Slice:
+		return typeHasFloat(t.Elem(), seen)
+	case *types.Array:
+		return typeHasFloat(t.Elem(), seen)
+	case *types.Pointer:
+		return typeHasFloat(t.Elem(), seen)
+	case *types.Map:
+		return typeHasFloat(t.Key(), seen) || typeHasFloat(t.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if typeHasFloat(t.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// pkgNameOf returns the package name when expr is a package qualifier
+// ident (e.g. the `math` in `math.Sqrt`), or "".
+func pkgNameOf(info *types.Info, expr ast.Expr) string {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pn, ok := info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}

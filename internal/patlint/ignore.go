@@ -1,0 +1,138 @@
+package patlint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix is the escape-hatch directive: `//patlint:ignore rule reason`.
+// A directive suppresses findings of the named rule on its own line and on
+// the line below it; placed in the doc comment of a top-level declaration
+// it suppresses findings of that rule across the whole declaration.
+// The reason is mandatory — a directive without one is itself a finding.
+const ignorePrefix = "//patlint:ignore"
+
+// directive is one parsed ignore comment.
+type directive struct {
+	rule   string
+	reason string
+	line   int
+	pos    token.Pos
+}
+
+// span is a declaration-scoped suppression range.
+type span struct {
+	rule       string
+	start, end int // line range, inclusive
+}
+
+// fileIgnores indexes the directives of one file.
+type fileIgnores struct {
+	byLine map[int][]string // line -> suppressed rules
+	spans  []span
+	bad    []directive // directives missing a reason
+}
+
+// collectIgnores parses every `//patlint:ignore` comment of the file.
+func collectIgnores(fset *token.FileSet, f *ast.File) *fileIgnores {
+	fi := &fileIgnores{byLine: make(map[int][]string)}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(rest)
+			d := directive{line: fset.Position(c.Pos()).Line, pos: c.Pos()}
+			if len(fields) > 0 {
+				d.rule = fields[0]
+			}
+			if len(fields) > 1 {
+				d.reason = strings.Join(fields[1:], " ")
+			}
+			if d.rule == "" || d.reason == "" {
+				fi.bad = append(fi.bad, d)
+				continue
+			}
+			fi.byLine[d.line] = append(fi.byLine[d.line], d.rule)
+		}
+	}
+	// Doc-comment directives cover their whole declaration: one annotation
+	// on e.g. pareto.Hypervolume covers every float expression inside it.
+	for _, decl := range f.Decls {
+		var doc *ast.CommentGroup
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			doc = d.Doc
+		case *ast.GenDecl:
+			doc = d.Doc
+		}
+		if doc == nil {
+			continue
+		}
+		for _, c := range doc.List {
+			rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(rest)
+			if len(fields) < 2 {
+				continue // already recorded in bad above
+			}
+			fi.spans = append(fi.spans, span{
+				rule:  fields[0],
+				start: fset.Position(decl.Pos()).Line,
+				end:   fset.Position(decl.End()).Line,
+			})
+		}
+	}
+	return fi
+}
+
+// suppressed reports whether a finding of rule at line is covered by a
+// directive on the same line, the line above, or an enclosing declaration.
+func (fi *fileIgnores) suppressed(rule string, line int) bool {
+	for _, r := range fi.byLine[line] {
+		if r == rule {
+			return true
+		}
+	}
+	for _, r := range fi.byLine[line-1] {
+		if r == rule {
+			return true
+		}
+	}
+	for _, s := range fi.spans {
+		if s.rule == rule && line >= s.start && line <= s.end {
+			return true
+		}
+	}
+	return false
+}
+
+// applyIgnores filters the package's diagnostics through its ignore
+// directives and reports malformed directives as patlint(ignore) findings.
+func applyIgnores(fset *token.FileSet, p *Package, diags []Diagnostic) []Diagnostic {
+	byFile := make(map[string]*fileIgnores, len(p.Files))
+	out := make([]Diagnostic, 0, len(diags))
+	for _, f := range p.Files {
+		fi := collectIgnores(fset, f)
+		byFile[fset.Position(f.Pos()).Filename] = fi
+		for _, d := range fi.bad {
+			out = append(out, Diagnostic{
+				Pos:  fset.Position(d.pos),
+				Rule: RuleIgnore,
+				Msg:  "ignore directive needs a rule and a reason: //patlint:ignore <rule> <reason>",
+			})
+		}
+	}
+	for _, d := range diags {
+		fi := byFile[d.Pos.Filename]
+		if fi != nil && fi.suppressed(d.Rule, d.Pos.Line) {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

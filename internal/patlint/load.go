@@ -1,0 +1,355 @@
+package patlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one loaded, parsed and type-checked package of the module.
+type Package struct {
+	Path   string // import path ("patlabor/internal/geom")
+	Dir    string // absolute directory
+	Files  []*ast.File
+	Pkg    *types.Package
+	Info   *types.Info
+	Target bool // matched by the requested patterns (vs loaded as a dependency)
+}
+
+// Loader parses and type-checks module packages from source using only
+// the standard library. Standard-library imports are resolved by the
+// go/importer "source" importer; module-internal imports are resolved
+// from the loader's own cache in dependency order. A Loader is reusable
+// across Load calls (the std importer and package cache are shared),
+// which keeps repeated analyses — e.g. one per test fixture — cheap.
+type Loader struct {
+	Root string // module root (directory containing go.mod)
+	Mod  string // module path from go.mod
+	Fset *token.FileSet
+
+	std   types.Importer
+	cache map[string]*Package // by import path
+}
+
+// NewLoader locates the enclosing module of dir and returns a Loader for it.
+func NewLoader(dir string) (*Loader, error) {
+	root, mod, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Root:  root,
+		Mod:   mod,
+		Fset:  fset,
+		std:   importer.ForCompiler(fset, "source", nil),
+		cache: make(map[string]*Package),
+	}, nil
+}
+
+// findModule ascends from dir to the nearest go.mod and parses its module path.
+func findModule(dir string) (root, mod string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if m, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return d, strings.TrimSpace(m), nil
+				}
+			}
+			return "", "", fmt.Errorf("patlint: %s/go.mod has no module directive", d)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("patlint: no go.mod found above %s", abs)
+		}
+	}
+}
+
+// Load resolves the patterns ("./...", "dir", "dir/...") to package
+// directories, parses the non-test files of each, and type-checks them
+// together with any module-internal dependencies. It returns every loaded
+// package; those matched by the patterns have Target set.
+func (l *Loader) Load(patterns []string) ([]*Package, error) {
+	dirs, err := l.expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	// Parse the requested packages.
+	byPath := make(map[string]*Package)
+	var order []string
+	for _, dir := range dirs {
+		p, err := l.parseDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if p == nil {
+			continue // no non-test Go files
+		}
+		p.Target = true
+		byPath[p.Path] = p
+		order = append(order, p.Path)
+	}
+	if len(order) == 0 {
+		return nil, fmt.Errorf("patlint: no Go packages matched %v", patterns)
+	}
+	// Pull in module-internal dependencies (not analyzed, just needed for
+	// type-checking the targets).
+	for i := 0; i < len(order); i++ {
+		p := byPath[order[i]]
+		for _, imp := range packageImports(p.Files) {
+			if !l.internal(imp) || byPath[imp] != nil {
+				continue
+			}
+			dep, err := l.parseDir(l.dirFor(imp))
+			if err != nil {
+				return nil, err
+			}
+			if dep == nil {
+				return nil, fmt.Errorf("patlint: import %q has no Go files", imp)
+			}
+			byPath[dep.Path] = dep
+			order = append(order, dep.Path)
+		}
+	}
+	// Type-check in dependency order.
+	sorted, err := toposort(byPath)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range sorted {
+		if err := l.typecheck(p, byPath); err != nil {
+			return nil, err
+		}
+	}
+	return sorted, nil
+}
+
+// internal reports whether imp is a package of this module.
+func (l *Loader) internal(imp string) bool {
+	return imp == l.Mod || strings.HasPrefix(imp, l.Mod+"/")
+}
+
+// dirFor maps a module-internal import path to its directory.
+func (l *Loader) dirFor(imp string) string {
+	return filepath.Join(l.Root, strings.TrimPrefix(strings.TrimPrefix(imp, l.Mod), "/"))
+}
+
+// pathFor maps an absolute package directory to its import path.
+func (l *Loader) pathFor(dir string) string {
+	rel, err := filepath.Rel(l.Root, dir)
+	if err != nil || rel == "." {
+		return l.Mod
+	}
+	return l.Mod + "/" + filepath.ToSlash(rel)
+}
+
+// expand resolves command-line patterns to absolute package directories.
+// Directories named testdata (and hidden/underscore/vendor directories)
+// are skipped during ./... walks, matching the go tool, unless the
+// pattern root itself lies inside a testdata tree.
+func (l *Loader) expand(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+			if pat == "" || pat == "." {
+				pat = "."
+			}
+		}
+		base := pat
+		if !filepath.IsAbs(base) {
+			base = filepath.Join(l.Root, base)
+		}
+		if st, err := os.Stat(base); err != nil || !st.IsDir() {
+			return nil, fmt.Errorf("patlint: not a package directory: %s", pat)
+		}
+		if !recursive {
+			add(base)
+			continue
+		}
+		inTestdata := strings.Contains(base, string(filepath.Separator)+"testdata")
+		err := filepath.WalkDir(base, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != base {
+				if strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+					name == "vendor" || (name == "testdata" && !inTestdata) {
+					return filepath.SkipDir
+				}
+			}
+			add(p)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return dirs, nil
+}
+
+// parseDir parses the non-test Go files of dir (with comments, for ignore
+// directives). Returns nil if the directory holds no non-test Go files.
+func (l *Loader) parseDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	return &Package{Path: l.pathFor(dir), Dir: dir, Files: files}, nil
+}
+
+// packageImports returns the deduplicated import paths of the files.
+func packageImports(files []*ast.File) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || seen[p] {
+				continue
+			}
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// toposort orders the packages so every module-internal dependency
+// precedes its importers.
+func toposort(byPath map[string]*Package) ([]*Package, error) {
+	paths := make([]string, 0, len(byPath))
+	for p := range byPath {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	state := make(map[string]int)
+	var out []*Package
+	var visit func(string) error
+	visit = func(p string) error {
+		switch state[p] {
+		case black:
+			return nil
+		case grey:
+			return fmt.Errorf("patlint: import cycle through %s", p)
+		}
+		state[p] = grey
+		for _, imp := range packageImports(byPath[p].Files) {
+			if byPath[imp] != nil {
+				if err := visit(imp); err != nil {
+					return err
+				}
+			}
+		}
+		state[p] = black
+		out = append(out, byPath[p])
+		return nil
+	}
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// moduleImporter resolves module-internal imports from the loader cache
+// and everything else through the standard-library source importer.
+type moduleImporter struct {
+	l      *Loader
+	byPath map[string]*Package
+}
+
+func (m moduleImporter) Import(path string) (*types.Package, error) {
+	if p := m.byPath[path]; p != nil && p.Pkg != nil {
+		return p.Pkg, nil
+	}
+	if p := m.l.cache[path]; p != nil && p.Pkg != nil {
+		return p.Pkg, nil
+	}
+	if m.l.internal(path) {
+		return nil, fmt.Errorf("patlint: internal import %q not loaded", path)
+	}
+	return m.l.std.Import(path)
+}
+
+// typecheck runs go/types over the package, reusing a cached result when
+// the same import path was checked by an earlier Load of this Loader.
+func (l *Loader) typecheck(p *Package, byPath map[string]*Package) error {
+	if cached := l.cache[p.Path]; cached != nil {
+		*p = Package{Path: cached.Path, Dir: cached.Dir, Files: cached.Files,
+			Pkg: cached.Pkg, Info: cached.Info, Target: p.Target}
+		return nil
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var errs []error
+	conf := types.Config{
+		Importer: moduleImporter{l: l, byPath: byPath},
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	pkg, _ := conf.Check(p.Path, l.Fset, p.Files, info)
+	if len(errs) > 0 {
+		msgs := make([]string, 0, len(errs))
+		for _, e := range errs {
+			msgs = append(msgs, e.Error())
+		}
+		if len(msgs) > 5 {
+			msgs = append(msgs[:5], fmt.Sprintf("... and %d more", len(msgs)-5))
+		}
+		return fmt.Errorf("patlint: type errors in %s:\n  %s", p.Path, strings.Join(msgs, "\n  "))
+	}
+	p.Pkg, p.Info = pkg, info
+	l.cache[p.Path] = p
+	return nil
+}

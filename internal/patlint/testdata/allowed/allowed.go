@@ -1,0 +1,30 @@
+// Package allowed mirrors the float-legitimate packages (policy, stats,
+// textplot): it sits outside the exact/deterministic/routing classes, so
+// floats, math.*, and map-order leaks produce no findings here. Only the
+// module-wide sortslice rule applies, and this package honours it.
+package allowed
+
+import "math"
+
+// Mean is reporting-style float math — fine outside the exact set.
+func Mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Dev calls math.Sqrt — fine outside the exact set.
+func Dev(x float64) float64 {
+	return math.Sqrt(x)
+}
+
+// Keys leaks map order — maprange applies only to deterministic packages.
+func Keys(m map[string]float64) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -15,9 +15,10 @@
 package ysd
 
 import (
+	"cmp"
 	"context"
 	"fmt"
-	"sort"
+	"slices"
 
 	"patlabor/internal/dw"
 	"patlabor/internal/geom"
@@ -121,18 +122,20 @@ func route(ctx context.Context, net tree.Net, pins []int, beta float64, depth in
 	sinks := pins[1:]
 	axis := depth % 2
 	ord := append([]int(nil), sinks...)
-	sort.SliceStable(ord, func(a, b int) bool {
-		pa, pb := net.Pins[ord[a]], net.Pins[ord[b]]
+	// Stable on the full (axis, off-axis) coordinate key: coincident pins
+	// keep their input order, which is itself deterministic.
+	slices.SortStableFunc(ord, func(x, y int) int {
+		pa, pb := net.Pins[x], net.Pins[y]
 		if axis == 0 {
-			if pa.X != pb.X {
-				return pa.X < pb.X
+			if c := cmp.Compare(pa.X, pb.X); c != 0 {
+				return c
 			}
-			return pa.Y < pb.Y
+			return cmp.Compare(pa.Y, pb.Y)
 		}
-		if pa.Y != pb.Y {
-			return pa.Y < pb.Y
+		if c := cmp.Compare(pa.Y, pb.Y); c != 0 {
+			return c
 		}
-		return pa.X < pb.X
+		return cmp.Compare(pa.X, pb.X)
 	})
 	mid := len(ord) / 2
 	left := append([]int{pins[0]}, ord[:mid]...)

@@ -6,7 +6,7 @@
 # when absolute numbers matter; the allocs/op column is machine
 # independent.
 #
-# Usage: scripts/bench.sh [pr2|pr4] [output.json]
+# Usage: scripts/bench.sh [pr2|pr4|pr5] [output.json]
 #
 #   pr2 (default)  BenchmarkLUTQuery — the symbolic-first lookup-table
 #                  query fast path (baseline: materialize-every-topology
@@ -14,6 +14,9 @@
 #   pr4            BenchmarkLocalSearch — the large-net local search
 #                  (baseline: per-call allocation of adjacency and delay
 #                  structures, no sub-frontier memo).
+#   pr5            BenchmarkParetoFilter — Pareto frontier extraction
+#                  (baseline: reflection-based sort.Slice/sort.SliceStable
+#                  before the slices.SortFunc conversion patlint enforces).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -47,13 +50,28 @@ EOF
     "BenchmarkLocalSearch/degree=64": {"ns_op": 265924169, "b_op": 59694168, "allocs_op": 683395}
 EOF
     ;;
+  pr5)
+    PATTERN='BenchmarkParetoFilter'
+    PKG=./internal/pareto
+    OUT="${2:-BENCH_PR5.json}"
+    BASELINE_KEY="baseline_pre_pr5"
+    cat > "$BASEFILE" <<'EOF'
+    "note": "sort.Slice/sort.SliceStable reflection swapper, measured at the PR 5 branch point (Intel Xeon @ 2.10GHz)",
+    "BenchmarkParetoFilter/n=16": {"ns_op": 779, "b_op": 376, "allocs_op": 5},
+    "BenchmarkParetoFilter/n=256": {"ns_op": 24183, "b_op": 4312, "allocs_op": 5},
+    "BenchmarkParetoFilter/n=4096": {"ns_op": 730500, "b_op": 65704, "allocs_op": 5},
+    "BenchmarkParetoFilterItems/n=16": {"ns_op": 1302, "b_op": 528, "allocs_op": 5},
+    "BenchmarkParetoFilterItems/n=256": {"ns_op": 74881, "b_op": 6432, "allocs_op": 5},
+    "BenchmarkParetoFilterItems/n=4096": {"ns_op": 2827310, "b_op": 98528, "allocs_op": 5}
+EOF
+    ;;
   *)
-    echo "unknown suite: $SUITE (want pr2 or pr4)" >&2
+    echo "unknown suite: $SUITE (want pr2, pr4 or pr5)" >&2
     exit 2
     ;;
 esac
 
-go test -run '^$' -bench "$PATTERN" -benchmem . | tee "$TMP"
+go test -run '^$' -bench "$PATTERN" -benchmem "${PKG:-.}" | tee "$TMP"
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
     -v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
