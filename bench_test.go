@@ -14,6 +14,7 @@ import (
 
 	"patlabor/internal/core"
 	"patlabor/internal/dw"
+	"patlabor/internal/eco"
 	"patlabor/internal/exp"
 	"patlabor/internal/lut"
 	"patlabor/internal/netgen"
@@ -385,6 +386,70 @@ func BenchmarkElmoreEvaluation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if ElmoreDelay(t, p) <= 0 {
 			b.Fatal("bad delay")
+		}
+	}
+}
+
+// BenchmarkReroute measures ECO mode against from-scratch routing on a
+// churning net: per step, fraction×degree pins receive edits (minimum
+// one) and the post-edit frontier is recomputed. mode=full routes every
+// post-edit net from scratch with core.Route (no shared caches — the
+// honest baseline); mode=eco replays the identical deterministic stream
+// through a Session handle. RevertPercent 70 models the low-acceptance
+// try/rollback loop of a timing ECO — most tried edits are measured and
+// undone, walking back down the undo stack to a geometry routed before,
+// the case the net-level memo answers without routing. BENCH_PR6.json
+// records both sides (scripts/bench.sh pr6).
+func BenchmarkReroute(b *testing.B) {
+	for _, deg := range []int{8, 16, 32, 64} {
+		for _, frac := range []int{1, 5, 10, 25} {
+			editsPerStep := deg * frac / 100
+			if editsPerStep < 1 {
+				editsPerStep = 1
+			}
+			stream := func(n int) (tree.Net, [][]eco.Edit) {
+				rng := rand.New(rand.NewSource(int64(1000*deg + frac)))
+				net := netgen.Clustered(rng, deg, 100000, 4000)
+				return net, netgen.EditStream(rng, net, netgen.EditStreamOptions{
+					Steps:             n,
+					EditsPerStep:      editsPerStep,
+					RevertPercent:     70,
+					StructuralPercent: 10,
+					Span:              100000,
+				})
+			}
+			name := fmt.Sprintf("degree=%d/frac=%d", deg, frac)
+			b.Run(name+"/mode=full", func(b *testing.B) {
+				net, steps := stream(b.N)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					next, _, err := eco.Apply(net, steps[i])
+					if err != nil {
+						b.Fatal(err)
+					}
+					net = next
+					if _, err := core.Route(net, core.Options{}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run(name+"/mode=eco", func(b *testing.B) {
+				net, steps := stream(b.N)
+				s, err := eco.NewSession(core.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				h, err := s.Track(context.Background(), net)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := h.Reroute(context.Background(), steps[i]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }

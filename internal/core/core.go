@@ -56,6 +56,13 @@ type Options struct {
 	// batch engine passes one per engine so windows recur across nets).
 	// nil gives each local search a private memo unless NoCache is set.
 	Cache *SubCache
+	// Trace, when set together with Cache, records every sub-frontier
+	// window the local search consults (memo key + parent-net pin
+	// indices) so the incremental rerouter (internal/eco) can later evict
+	// exactly the cached windows an edit dirties. The trace never alters
+	// routing results. Ignored without a cache — windows are not keyed
+	// then.
+	Trace *SubTrace
 	// NoCache disables all result caching: the sub-frontier memo and the
 	// unchanged-base rebalance skip. Results are byte-identical either
 	// way; NoCache exists to prove that (and for memory-constrained
@@ -304,6 +311,12 @@ func subFrontier(ctx context.Context, net tree.Net, sel []int, opts Options, cac
 	}
 	canonical := table.Covers(sub.Degree())
 	r, tf := ks.appendWindowKey(sub, canonical)
+	if opts.Trace != nil {
+		opts.Trace.Windows = append(opts.Trace.Windows, TraceWindow{
+			Key:  string(ks.buf),
+			Pins: append([]int(nil), pins...),
+		})
+	}
 	if e := cache.lookup(ks.buf); e != nil {
 		iso, err := windowIsometry(e, sub, r, tf)
 		if err == nil {

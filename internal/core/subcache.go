@@ -76,6 +76,49 @@ func (c *SubCache) Counters() (hits, misses int64) {
 	return c.hits.Load(), c.misses.Load()
 }
 
+// Len returns the number of resident entries.
+func (c *SubCache) Len() int {
+	c.mu.Lock()
+	n := len(c.entries)
+	c.mu.Unlock()
+	return n
+}
+
+// Remove evicts the entry stored under key, reporting whether one was
+// resident. It is the precise-invalidation primitive of ECO mode
+// (internal/eco): entries are keyed geometrically and therefore never
+// become stale, but windows whose pins an edit moved will never be
+// looked up again under their old keys, and letting them accumulate
+// would trigger store's wholesale capacity flush — evicting dead keys
+// one by one keeps the live ones resident. The hit/miss counters are
+// untouched: eviction is not cache traffic.
+func (c *SubCache) Remove(key string) bool {
+	c.mu.Lock()
+	_, ok := c.entries[key]
+	if ok {
+		delete(c.entries, key)
+	}
+	c.mu.Unlock()
+	return ok
+}
+
+// TraceWindow records one sub-frontier window a local search consulted:
+// the memo key it was cached (or answered) under, and the parent-net pin
+// indices the window covered. Pin 0 (the source) is always present.
+type TraceWindow struct {
+	Key  string
+	Pins []int
+}
+
+// SubTrace accumulates the sub-frontier windows of one Route call when
+// Options.Trace is set. The incremental rerouter (internal/eco) keeps the
+// trace alongside the routed net so a later edit can evict exactly the
+// cached windows the edit's dirty pins touch. A SubTrace is owned by a
+// single Route call and needs no locking.
+type SubTrace struct {
+	Windows []TraceWindow
+}
+
 // lookup returns the entry for key, or nil. It does not touch the
 // hit/miss counters — a found entry only becomes a hit once the isometry
 // derivation succeeds (subFrontier counts the outcome).

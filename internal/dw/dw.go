@@ -599,12 +599,11 @@ func (c *computation) reconstruct(e int32) *tree.Tree {
 		t.Add(c.net.Source(), pin, t.Root)
 	}
 	// ...and sinks co-located with another sink, attached with zero-length
-	// edges at their shared position.
-	for k, pins := range c.dup {
-		if k < 0 {
-			continue
-		}
-		for _, pin := range pins {
+	// edges at their shared position. Iterate distinct sinks by index, not
+	// by ranging c.dup: map order would make the node order of trees with
+	// duplicate pins depend on the iteration seed.
+	for k := 0; k < c.m; k++ {
+		for _, pin := range c.dup[k] {
 			// Find a tree node at the sink position.
 			at := -1
 			for i, nd := range t.Nodes {

@@ -1,0 +1,160 @@
+package eco
+
+import (
+	"fmt"
+
+	"patlabor/internal/geom"
+	"patlabor/internal/pareto"
+	"patlabor/internal/tree"
+)
+
+// PreviewDelta evaluates coordinate-only edits (MovePin, PerturbCoords)
+// against the handle's current frontier without rerouting: each tree is
+// notionally patched — nodes realising an edited pin move with it, the
+// topology stays — and the objective vector of every patched tree is
+// returned. Path lengths are re-evaluated only inside the dirtied
+// subtrees, seeded from the handle's stored per-item path-length arrays
+// (the VPR-style delta propagation), through a pooled tree.Evaluator.
+//
+// The result is exact for the patched trees — byte-identical to
+// evaluating them from scratch — but the patched trees are generally not
+// the post-edit Pareto frontier; PreviewDelta is the cheap screen an ECO
+// loop runs before deciding to Reroute. Structural edits (AddSink,
+// RemoveSink) cannot be previewed and return an error. The handle is not
+// modified.
+func (h *Handle) PreviewDelta(edits []Edit) ([]pareto.Sol, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	next, diff, err := Apply(h.net, edits)
+	if err != nil {
+		return nil, err
+	}
+	if diff.Structural {
+		return nil, fmt.Errorf("eco: PreviewDelta is coordinate-only; got a structural edit (AddSink/RemoveSink)")
+	}
+	out := make([]pareto.Sol, len(h.items))
+	if diff.Unchanged {
+		for i, it := range h.items {
+			out[i] = it.Sol
+		}
+		return out, nil
+	}
+	h.ensurePathLengths()
+	moved := make([]bool, h.net.Degree())
+	for _, p := range diff.OldDirty {
+		moved[p] = true
+	}
+	ev := tree.GetEvaluator()
+	defer tree.PutEvaluator(ev)
+	var dirty []bool
+	var newpl []int64
+	for i, it := range h.items {
+		t := it.Val
+		n := t.Len()
+		if cap(dirty) < n {
+			dirty = make([]bool, n)
+			newpl = make([]int64, n)
+		}
+		dirty = dirty[:n]
+		newpl = newpl[:n]
+		for v := range dirty {
+			dirty[v] = false
+		}
+		ev.Load(t)
+		// pos is the patched position of node v.
+		pos := func(v int32) geom.Point {
+			if p := t.Nodes[v].Pin; p >= 0 && moved[p] {
+				return next.Pins[p]
+			}
+			return t.Nodes[v].P
+		}
+		// Wirelength delta over affected edges, and dirty-subtree roots:
+		// an edge (v, parent) changes iff either endpoint moved; the
+		// subtree below a changed edge is dirty.
+		w := it.Sol.W
+		for v := range t.Nodes {
+			if p := t.Nodes[v].Pin; p >= 0 && moved[p] {
+				h.markDirtyNodes(ev, v, dirty)
+			}
+		}
+		for v, par := range t.Parent {
+			if par < 0 {
+				continue
+			}
+			affected := false
+			if p := t.Nodes[v].Pin; p >= 0 && moved[p] {
+				affected = true
+			}
+			if p := t.Nodes[par].Pin; p >= 0 && moved[p] {
+				affected = true
+			}
+			if affected {
+				w += geom.Dist(pos(int32(v)), pos(int32(par))) -
+					geom.Dist(t.Nodes[v].P, t.Nodes[par].P)
+			}
+		}
+		// Path lengths: recompute only dirty nodes, reading clean parents
+		// from the stored array. Order() is root-first, so parents are
+		// final before their children.
+		pl := h.pl[i]
+		read := func(v int32) int64 {
+			if dirty[v] {
+				return newpl[v]
+			}
+			return pl[v]
+		}
+		for _, v := range ev.Order() {
+			if !dirty[v] {
+				continue
+			}
+			par := t.Parent[v]
+			if par < 0 {
+				newpl[v] = 0
+				continue
+			}
+			newpl[v] = read(int32(par)) + geom.Dist(pos(v), pos(int32(par)))
+		}
+		var d int64
+		for v, nd := range t.Nodes {
+			if nd.Pin >= 1 {
+				if l := read(int32(v)); l > d {
+					d = l
+				}
+			}
+		}
+		out[i] = pareto.Sol{W: w, D: d}
+	}
+	return out, nil
+}
+
+// markDirtyNodes marks node v's whole subtree dirty (BFS over the loaded
+// evaluator adjacency).
+func (h *Handle) markDirtyNodes(ev *tree.Evaluator, v int, dirty []bool) {
+	if dirty[v] {
+		return
+	}
+	queue := []int32{int32(v)}
+	dirty[v] = true
+	for head := 0; head < len(queue); head++ {
+		for _, c := range ev.Children(int(queue[head])) {
+			if !dirty[c] {
+				dirty[c] = true
+				queue = append(queue, c)
+			}
+		}
+	}
+}
+
+// ensurePathLengths lazily builds the per-item node path-length arrays
+// PreviewDelta seeds its delta propagation from; dropped on reroute.
+func (h *Handle) ensurePathLengths() {
+	if h.pl != nil {
+		return
+	}
+	ev := tree.GetEvaluator()
+	h.pl = make([][]int64, len(h.items))
+	for i, it := range h.items {
+		h.pl[i] = append([]int64(nil), ev.PathLengthsInto(it.Val)...)
+	}
+	tree.PutEvaluator(ev)
+}

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"patlabor/internal/core"
+	"patlabor/internal/eco"
 	"patlabor/internal/lut"
 	"patlabor/internal/method"
 	"patlabor/internal/pareto"
@@ -95,6 +96,12 @@ type Engine struct {
 	// RouteAll call of this engine; nil when caching is off or the method
 	// never runs the local search.
 	subCache *core.SubCache
+	// eco is the incremental-rerouting session (nil for baseline
+	// methods). It shares subCache, so reroutes and batch routes warm
+	// the same window memo.
+	eco *eco.Session
+	// baseEco rebases the eco counters on Reset.
+	baseEco eco.Stats
 	// base subtracts table traffic that predates this engine (the lut
 	// counters are per-table, and the default table is shared
 	// process-wide).
@@ -151,6 +158,7 @@ func New(opts Options) (*Engine, error) {
 	var m method.Method
 	counting := table
 	var subCache *core.SubCache
+	var session *eco.Session
 	dedup := false
 	if method.Key(name) == "patlabor" {
 		if !opts.NoCache {
@@ -167,6 +175,21 @@ func New(opts Options) (*Engine, error) {
 			Cache:      subCache,
 			NoCache:    opts.NoCache,
 		})
+		// The eco session shares the engine's table and window memo; a
+		// NoCache engine gets a cacheless session (identity fast path
+		// only), proving reroute results never depend on cache state.
+		var err error
+		session, err = eco.NewSession(core.Options{
+			Lambda:     opts.Lambda,
+			Iterations: opts.Iterations,
+			Table:      table,
+			Params:     opts.Params,
+			Cache:      subCache,
+			NoCache:    opts.NoCache,
+		})
+		if err != nil {
+			return nil, err
+		}
 		if counting == nil {
 			// Resolve the shared table now (first use generates the eager
 			// degrees), so that cost lands in construction, not mid-batch.
@@ -194,6 +217,7 @@ func New(opts Options) (*Engine, error) {
 		lambda:   lambda,
 		dedup:    dedup,
 		subCache: subCache,
+		eco:      session,
 	}
 	if counting != nil {
 		e.base = snapshotTable(counting)
@@ -311,6 +335,13 @@ func (e *Engine) Stats() Stats {
 		s.SubFrontierHits = h - e.baseSubHits
 		s.SubFrontierMisses = m - e.baseSubMisses
 	}
+	if e.eco != nil {
+		es := e.eco.Stats()
+		s.EcoHits = es.EcoHits - e.baseEco.EcoHits
+		s.EcoFullReroutes = es.FullReroutes - e.baseEco.FullReroutes
+		s.DirtySubtrees = es.DirtySubtrees - e.baseEco.DirtySubtrees
+		s.CacheInvalidations = es.CacheInvalidations - e.baseEco.CacheInvalidations
+	}
 	return s
 }
 
@@ -327,6 +358,9 @@ func (e *Engine) Reset() {
 	e.base = cur
 	if e.subCache != nil {
 		e.baseSubHits, e.baseSubMisses = e.subCache.Counters()
+	}
+	if e.eco != nil {
+		e.baseEco = e.eco.Stats()
 	}
 }
 

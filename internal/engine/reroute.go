@@ -1,0 +1,93 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"patlabor/internal/eco"
+	"patlabor/internal/tree"
+)
+
+// Rerouter returns the engine's incremental-rerouting session (ECO
+// mode), sharing the engine's lookup table and sub-frontier memo — a
+// net rerouted incrementally warms the same window cache batch routing
+// uses. It is nil for baseline-method engines: incremental rerouting is
+// defined by byte-identity to the patlabor method.
+func (e *Engine) Rerouter() *eco.Session { return e.eco }
+
+// Track registers every net with the engine's eco session, routing each
+// through the worker pool, and returns the handles positionally aligned
+// with nets. Routed nets count toward the engine's statistics exactly
+// like a RouteAll batch; the lowest-index failure wins, as everywhere.
+func (e *Engine) Track(ctx context.Context, nets []tree.Net) ([]*eco.Handle, error) {
+	if e.eco == nil {
+		return nil, fmt.Errorf("engine: method %q does not support incremental rerouting", e.method.Name())
+	}
+	handles := make([]*eco.Handle, len(nets))
+	methodName := e.method.Name()
+	local := make([]collector, e.workers)
+	start := time.Now()
+	err := forEach(ctx, len(nets), e.workers, func(worker, i int) error {
+		t0 := time.Now()
+		h, terr := e.eco.Track(ctx, nets[i])
+		if terr != nil {
+			local[worker].errs++
+			return fmt.Errorf("engine: net %d: %w", i, terr)
+		}
+		local[worker].record(nets[i].Degree(), time.Since(t0))
+		handles[i] = h
+		return nil
+	})
+	e.mergeBatch(methodName, local, time.Since(start))
+	if err != nil {
+		return nil, err
+	}
+	return handles, nil
+}
+
+// RerouteBatch applies edits[i] to handles[i] across the worker pool and
+// returns the post-edit Pareto frontiers in input order — each
+// byte-identical to routing the post-edit net from scratch. Per-method
+// and per-degree statistics accumulate as for RouteAll; the eco counters
+// (EcoHits, DirtySubtrees, CacheInvalidations) surface through Stats.
+func (e *Engine) RerouteBatch(ctx context.Context, handles []*eco.Handle, edits [][]eco.Edit) ([]Result, error) {
+	if e.eco == nil {
+		return nil, fmt.Errorf("engine: method %q does not support incremental rerouting", e.method.Name())
+	}
+	if len(handles) != len(edits) {
+		return nil, fmt.Errorf("engine: %d handles but %d edit batches", len(handles), len(edits))
+	}
+	out := make([]Result, len(handles))
+	methodName := e.method.Name()
+	local := make([]collector, e.workers)
+	start := time.Now()
+	err := forEach(ctx, len(handles), e.workers, func(worker, i int) error {
+		t0 := time.Now()
+		items, rerr := handles[i].Reroute(ctx, edits[i])
+		if rerr != nil {
+			local[worker].errs++
+			return fmt.Errorf("engine: net %d: %w", i, rerr)
+		}
+		local[worker].record(handles[i].Degree(), time.Since(t0))
+		out[i] = items
+		return nil
+	})
+	e.mergeBatch(methodName, local, time.Since(start))
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// mergeBatch folds a batch's per-worker collectors and wall time into
+// the engine's cumulative stats.
+func (e *Engine) mergeBatch(methodName string, local []collector, elapsed time.Duration) {
+	e.mu.Lock()
+	for w := range local {
+		e.stats.merge(methodName, &local[w])
+	}
+	e.stats.Batches++
+	e.stats.Elapsed += elapsed
+	e.mu.Unlock()
+}

@@ -81,6 +81,19 @@ type Stats struct {
 	// layer examined but had to route.
 	DedupHits   int64
 	DedupMisses int64
+	// EcoHits / EcoFullReroutes count the incremental-rerouting session's
+	// traffic (internal/eco): tracked/rerouted nets answered without
+	// running the router (cancelled edits, net-memo isometry hits) versus
+	// full warm-cache reroutes. EcoHits + EcoFullReroutes equals the
+	// session's Track + Reroute calls.
+	EcoHits         int64
+	EcoFullReroutes int64
+	// DirtySubtrees counts the subtree roots edits dirtied across
+	// previous frontiers' trees; CacheInvalidations counts the
+	// sub-frontier cache keys reroutes evicted precisely (windows whose
+	// geometry an edit changed).
+	DirtySubtrees      int64
+	CacheInvalidations int64
 	// Methods breaks NetsRouted/Errors down per routing method, sorted by
 	// method name. A single engine routes with one method, but counters
 	// survive Reset-free engine reuse and merge across batches.
@@ -204,6 +217,12 @@ func (s Stats) String() string {
 	if ded := s.DedupHits + s.DedupMisses; ded > 0 {
 		fmt.Fprintf(&b, "net dedup     %d duplicates / %d unique (%.1f%% of batch deduped)\n",
 			s.DedupHits, s.DedupMisses, 100*float64(s.DedupHits)/float64(ded))
+	}
+	if eco := s.EcoHits + s.EcoFullReroutes; eco > 0 {
+		fmt.Fprintf(&b, "eco           %d hits / %d full reroutes (%.1f%% incremental)\n",
+			s.EcoHits, s.EcoFullReroutes, 100*float64(s.EcoHits)/float64(eco))
+		fmt.Fprintf(&b, "eco dirty     %d dirty subtrees, %d cache invalidations\n",
+			s.DirtySubtrees, s.CacheInvalidations)
 	}
 	for _, d := range s.Degrees {
 		fmt.Fprintf(&b, "degree %-4d   %6d nets  mean %-10s max %s\n",

@@ -1,0 +1,144 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"patlabor/internal/eco"
+	"patlabor/internal/engine"
+	"patlabor/internal/netgen"
+	"patlabor/internal/textplot"
+	"patlabor/internal/tree"
+)
+
+// EcoResult is the ECO churn experiment: tracked nets absorb a
+// deterministic edit stream, every step is rerouted incrementally AND
+// from scratch, the two frontiers are verified byte-identical, and the
+// accumulated times give the incremental speedup per degree.
+type EcoResult struct {
+	Rows  [][]string
+	Stats engine.Stats
+}
+
+// RunEco drives the ECO churn scenario: per degree, a batch of clustered
+// nets is tracked on one engine, then an EditStream (reverts, perturbs,
+// moves, sink insertions/removals) is replayed step by step through
+// Engine.RerouteBatch. Each step's frontiers are verified byte-identical
+// to a cold from-scratch engine's on the post-edit nets — the churn
+// differential the CI quick suite runs — and both sides are timed.
+func RunEco(ctx context.Context, cfg Config) (*EcoResult, error) {
+	degrees := []int{8, 16, 32, 64}
+	netsPerDegree, steps := 6, 16
+	if cfg.Quick {
+		netsPerDegree, steps = 2, 6
+	}
+	res := &EcoResult{}
+	eng, err := engine.New(engine.Options{Workers: cfg.Workers})
+	if err != nil {
+		return nil, err
+	}
+	for _, deg := range degrees {
+		rng := rand.New(rand.NewSource(cfg.Suite.Seed + int64(deg)))
+		nets := make([]tree.Net, netsPerDegree)
+		for i := range nets {
+			nets[i] = netgen.Clustered(rng, deg, 100000, 4000)
+		}
+		streams := make([][][]eco.Edit, len(nets))
+		for i, net := range nets {
+			streams[i] = netgen.EditStream(rng, net, netgen.EditStreamOptions{
+				Steps:             steps,
+				EditsPerStep:      1 + deg/16,
+				RevertPercent:     40,
+				StructuralPercent: 10,
+			})
+		}
+		handles, err := eng.Track(ctx, nets)
+		if err != nil {
+			return nil, err
+		}
+		var ecoTime, fullTime time.Duration
+		for s := 0; s < steps; s++ {
+			batch := make([][]eco.Edit, len(handles))
+			for i := range handles {
+				batch[i] = streams[i][s]
+			}
+			var got []engine.Result
+			if err := timed(&ecoTime, func() error {
+				var rerr error
+				got, rerr = eng.RerouteBatch(ctx, handles, batch)
+				return rerr
+			}); err != nil {
+				return nil, err
+			}
+			// From-scratch reference on a cold engine (fresh caches): the
+			// incremental side must match it byte for byte.
+			post := make([]tree.Net, len(handles))
+			for i, h := range handles {
+				post[i] = h.Net()
+			}
+			cold, err := engine.New(engine.Options{Workers: cfg.Workers})
+			if err != nil {
+				return nil, err
+			}
+			var want []engine.Result
+			if err := timed(&fullTime, func() error {
+				var rerr error
+				want, rerr = cold.RouteAll(ctx, post)
+				return rerr
+			}); err != nil {
+				return nil, err
+			}
+			for i := range got {
+				if err := sameFrontier(got[i], want[i]); err != nil {
+					return nil, fmt.Errorf("eco: degree %d step %d net %d: %w", deg, s, i, err)
+				}
+			}
+		}
+		speedup := "n/a"
+		if ecoTime > 0 {
+			speedup = fmt.Sprintf("%.2fx", float64(fullTime)/float64(ecoTime))
+		}
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprintf("%d", deg),
+			fmt.Sprintf("%d×%d", netsPerDegree, steps),
+			fmtDur(ecoTime), fmtDur(fullTime), speedup,
+		})
+	}
+	res.Stats = eng.Stats()
+	return res, nil
+}
+
+// sameFrontier checks two frontiers are byte-identical: same objective
+// vectors and same trees node for node.
+func sameFrontier(got, want engine.Result) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("frontier size %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Sol != want[i].Sol {
+			return fmt.Errorf("item %d: sol %+v, want %+v", i, got[i].Sol, want[i].Sol)
+		}
+		a, b := got[i].Val, want[i].Val
+		if a.Root != b.Root || len(a.Nodes) != len(b.Nodes) {
+			return fmt.Errorf("item %d: tree shape differs", i)
+		}
+		for j := range a.Nodes {
+			if a.Nodes[j] != b.Nodes[j] || a.Parent[j] != b.Parent[j] {
+				return fmt.Errorf("item %d: node %d differs", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// Render formats the churn table plus the engine's eco counters.
+func (r *EcoResult) Render() string {
+	out := "ECO churn — incremental reroute vs from-scratch (byte-identity verified per step)\n"
+	out += textplot.Table([]string{"degree", "nets×steps", "eco time", "full time", "speedup"}, r.Rows)
+	s := r.Stats
+	out += fmt.Sprintf("\neco counters: %d hits, %d full reroutes, %d dirty subtrees, %d cache invalidations\n",
+		s.EcoHits, s.EcoFullReroutes, s.DirtySubtrees, s.CacheInvalidations)
+	return out
+}

@@ -1,0 +1,139 @@
+package netgen
+
+import (
+	"math/rand"
+
+	"patlabor/internal/eco"
+	"patlabor/internal/geom"
+	"patlabor/internal/tree"
+)
+
+// EditStreamOptions configures a synthetic ECO churn stream.
+type EditStreamOptions struct {
+	// Steps is the number of edit batches (one Reroute call each);
+	// <= 0 defaults to 64.
+	Steps int
+	// EditsPerStep is the number of edits a non-revert step applies
+	// (the churn fraction is EditsPerStep / degree); <= 0 defaults to 1.
+	EditsPerStep int
+	// RevertPercent is the percentage [0,100] of steps that exactly
+	// revert the latest not-yet-undone step — the accept/reject loop of
+	// real ECO flows, where a tried change is measured and rolled back.
+	// Reverts chain like an EDA tool's undo stack: consecutive revert
+	// steps pop successively older geometries until the stack is empty.
+	// Every popped geometry was routed before, so these steps are where
+	// incremental rerouting shines (the net memo answers them outright);
+	// set 0 for a pure-churn stream. Default 0.
+	RevertPercent int
+	// StructuralPercent is the per-edit percentage [0,100] of sink
+	// insertions/removals among non-revert edits; the rest are pin moves
+	// and perturbations. Default 0 (coordinate churn only).
+	StructuralPercent int
+	// Span is the die span fresh sink positions are drawn from; <= 0
+	// defaults to 100000 (the experiment suite's die).
+	Span int64
+	// MaxOffset bounds each perturbation component in [-MaxOffset,
+	// MaxOffset]; <= 0 defaults to Span/64.
+	MaxOffset int64
+}
+
+func (o EditStreamOptions) withDefaults() EditStreamOptions {
+	if o.Steps <= 0 {
+		o.Steps = 64
+	}
+	if o.EditsPerStep <= 0 {
+		o.EditsPerStep = 1
+	}
+	if o.Span <= 0 {
+		o.Span = 100000
+	}
+	if o.MaxOffset <= 0 {
+		o.MaxOffset = o.Span / 64
+		if o.MaxOffset < 1 {
+			o.MaxOffset = 1
+		}
+	}
+	return o
+}
+
+// EditStream generates a deterministic churn stream for net: a sequence
+// of edit batches drawn from rng, each valid against the net state left
+// by its predecessors (degrees never collapse below 2; removal indices
+// track the evolving pin count). Feeding the same seed reproduces the
+// stream bit for bit, so benchmarks and differential tests replay
+// identical churn. The input net is not mutated.
+//
+// Non-revert steps mix perturbations (small offsets), moves to fresh
+// die positions and — when StructuralPercent > 0 — sink insertions and
+// removals, pushing the pre-step geometry onto an undo stack. Revert
+// steps pop the stack, returning the net exactly to a geometry it held
+// before; chained reverts walk the stack multiple levels, like holding
+// undo in an EDA tool.
+func EditStream(rng *rand.Rand, net tree.Net, o EditStreamOptions) [][]eco.Edit {
+	o = o.withDefaults()
+	cur := tree.Net{Pins: append([]geom.Point(nil), net.Pins...)}
+	steps := make([][]eco.Edit, 0, o.Steps)
+	// undo holds the pre-step pin slices of the not-yet-undone steps.
+	var undo [][]geom.Point
+	for len(steps) < o.Steps {
+		if len(undo) > 0 && o.RevertPercent > 0 && rng.Intn(100) < o.RevertPercent {
+			prev := undo[len(undo)-1]
+			undo = undo[:len(undo)-1]
+			steps = append(steps, invertTo(cur, prev))
+			cur = tree.Net{Pins: prev}
+			continue
+		}
+		undo = append(undo, append([]geom.Point(nil), cur.Pins...))
+		batch := make([]eco.Edit, 0, o.EditsPerStep)
+		for len(batch) < o.EditsPerStep {
+			e := randomEdit(rng, cur, o)
+			next, _, err := eco.Apply(cur, []eco.Edit{e})
+			if err != nil {
+				continue // e.g. removal refused at minimum degree
+			}
+			batch = append(batch, e)
+			cur = next
+		}
+		steps = append(steps, batch)
+	}
+	return steps
+}
+
+// randomEdit draws one edit valid against the current net state.
+func randomEdit(rng *rand.Rand, cur tree.Net, o EditStreamOptions) eco.Edit {
+	n := cur.Degree()
+	if o.StructuralPercent > 0 && rng.Intn(100) < o.StructuralPercent {
+		if rng.Intn(2) == 0 && n > 2 {
+			return eco.RemoveSink(1 + rng.Intn(n-1))
+		}
+		return eco.AddSink(geom.Pt(rng.Int63n(o.Span), rng.Int63n(o.Span)))
+	}
+	pin := rng.Intn(n) // the source moves too: cell placement shifts it
+	if rng.Intn(4) == 0 {
+		return eco.MovePin(pin, geom.Pt(rng.Int63n(o.Span), rng.Int63n(o.Span)))
+	}
+	d := geom.Pt(rng.Int63n(2*o.MaxOffset+1)-o.MaxOffset, rng.Int63n(2*o.MaxOffset+1)-o.MaxOffset)
+	return eco.PerturbCoords(pin, d)
+}
+
+// invertTo builds the edit batch transforming cur into the target pin
+// slice: degree adjustments first (so indices line up), then absolute
+// moves for every differing pin.
+func invertTo(cur tree.Net, target []geom.Point) []eco.Edit {
+	var edits []eco.Edit
+	pins := append([]geom.Point(nil), cur.Pins...)
+	for len(pins) > len(target) {
+		edits = append(edits, eco.RemoveSink(len(pins)-1))
+		pins = pins[:len(pins)-1]
+	}
+	for len(pins) < len(target) {
+		edits = append(edits, eco.AddSink(target[len(pins)]))
+		pins = append(pins, target[len(pins)])
+	}
+	for i, p := range pins {
+		if p != target[i] {
+			edits = append(edits, eco.MovePin(i, target[i]))
+		}
+	}
+	return edits
+}

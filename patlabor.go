@@ -27,6 +27,7 @@ import (
 	"patlabor/internal/bookshelf"
 	"patlabor/internal/core"
 	"patlabor/internal/dw"
+	"patlabor/internal/eco"
 	"patlabor/internal/elmore"
 	"patlabor/internal/engine"
 	"patlabor/internal/geom"
@@ -279,6 +280,74 @@ func engineOptions(opts Options, workers int) (engine.Options, error) {
 		eopts.Table = t
 	}
 	return eopts, nil
+}
+
+// Edit is one incremental net mutation (ECO mode): construct edits with
+// MovePin, AddSink, RemoveSink and PerturbCoords, then feed them to
+// Reroute.
+type Edit = eco.Edit
+
+// MovePin repositions pin (the source is allowed) to the absolute
+// position p.
+func MovePin(pin int, p Point) Edit { return eco.MovePin(pin, p) }
+
+// AddSink appends a sink at p as the highest pin index.
+func AddSink(p Point) Edit { return eco.AddSink(p) }
+
+// RemoveSink deletes sink pin (never the source), shifting higher pin
+// indices down by one; the net must keep at least two pins.
+func RemoveSink(pin int) Edit { return eco.RemoveSink(pin) }
+
+// PerturbCoords nudges pin (the source is allowed) by the relative
+// offset d.
+func PerturbCoords(pin int, d Point) Edit { return eco.PerturbCoords(pin, d) }
+
+// ApplyEdits applies edits to net in order and returns the post-edit net
+// without routing anything; the input net is not mutated. It is the pure
+// mutation underlying Reroute, exposed so callers can maintain their own
+// net state.
+func ApplyEdits(net Net, edits []Edit) (Net, error) {
+	next, _, err := eco.Apply(net, edits)
+	return next, err
+}
+
+// Rerouter is an incremental-rerouting session (ECO mode): nets are
+// registered once with Track, then rerouted after each edit batch with
+// Reroute at a fraction of the from-scratch cost — while every result
+// stays byte-identical to Route on the post-edit net. The speedup comes
+// from exactness-preserving reuse only (revisited geometries answered by
+// verified isometries, warm sub-frontier windows); see internal/eco. A
+// Rerouter is safe for concurrent use. For pooled batch rerouting with
+// statistics, use Engine.Track and Engine.RerouteBatch instead.
+type Rerouter = eco.Session
+
+// Tracked is one net registered with a Rerouter (or an Engine).
+type Tracked = eco.Handle
+
+// RerouteStats is a snapshot of a Rerouter's counters.
+type RerouteStats = eco.Stats
+
+// NewRerouter builds an incremental-rerouting session with the resolved
+// options (the same resolution Route uses, including the memoized
+// lookup-table cache).
+func NewRerouter(opts Options) (*Rerouter, error) {
+	copts, err := prepareOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	return eco.NewSession(copts)
+}
+
+// Reroute applies edits to the tracked net and returns the post-edit
+// Pareto frontier, byte-identical to Route on the post-edit net.
+//
+//	r, _ := patlabor.NewRerouter(patlabor.Options{})
+//	h, _ := r.Track(ctx, net)
+//	cands, _ := patlabor.Reroute(ctx, h, []patlabor.Edit{
+//	    patlabor.MovePin(3, patlabor.Pt(120, -40)),
+//	})
+func Reroute(ctx context.Context, h *Tracked, edits []Edit) ([]Candidate, error) {
+	return h.Reroute(ctx, edits)
 }
 
 // ElmoreParams are the RC parameters of the Elmore delay model (see

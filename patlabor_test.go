@@ -270,3 +270,73 @@ func TestRouteAllContextCancelled(t *testing.T) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
+
+func TestReroutePublicAPI(t *testing.T) {
+	ctx := context.Background()
+	r, err := NewRerouter(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := NewNet(Pt(0, 0), Pt(40, 10), Pt(35, -20), Pt(-15, 25))
+	h, err := r.Track(ctx, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edits := []Edit{
+		MovePin(3, Pt(120, -40)),
+		AddSink(Pt(-30, -30)),
+		PerturbCoords(1, Pt(5, 5)),
+	}
+	cands, err := Reroute(ctx, h, edits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post, err := ApplyEdits(net, edits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hn := h.Net(); len(hn.Pins) != len(post.Pins) {
+		t.Fatalf("handle degree %d, ApplyEdits degree %d", len(hn.Pins), len(post.Pins))
+	}
+	want, err := Route(post, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != len(want) {
+		t.Fatalf("incremental %d candidates, from-scratch %d", len(cands), len(want))
+	}
+	for i := range cands {
+		if cands[i].Sol != want[i].Sol {
+			t.Fatalf("candidate %d: %v != %v", i, cands[i].Sol, want[i].Sol)
+		}
+		if err := cands[i].Val.Validate(post); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Removing the just-added sink restores the original geometry, and the
+	// session's memo answers it without routing again.
+	st0 := r.Stats()
+	back, err := Reroute(ctx, h, []Edit{
+		RemoveSink(4),
+		MovePin(3, Pt(-15, 25)),
+		PerturbCoords(1, Pt(-5, -5)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := r.Stats(); st.EcoHits != st0.EcoHits+1 {
+		t.Fatalf("revert was not a memo hit: %+v -> %+v", st0, st)
+	}
+	orig, err := Route(net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range back {
+		if back[i].Sol != orig[i].Sol {
+			t.Fatalf("revert candidate %d: %v != %v", i, back[i].Sol, orig[i].Sol)
+		}
+	}
+	if _, err := ApplyEdits(net, []Edit{RemoveSink(0)}); err == nil {
+		t.Fatal("source removal accepted")
+	}
+}

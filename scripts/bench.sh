@@ -6,7 +6,7 @@
 # when absolute numbers matter; the allocs/op column is machine
 # independent.
 #
-# Usage: scripts/bench.sh [pr2|pr4|pr5] [output.json]
+# Usage: scripts/bench.sh [pr2|pr4|pr5|pr6] [output.json]
 #
 #   pr2 (default)  BenchmarkLUTQuery — the symbolic-first lookup-table
 #                  query fast path (baseline: materialize-every-topology
@@ -17,6 +17,11 @@
 #   pr5            BenchmarkParetoFilter — Pareto frontier extraction
 #                  (baseline: reflection-based sort.Slice/sort.SliceStable
 #                  before the slices.SortFunc conversion patlint enforces).
+#   pr6            BenchmarkReroute — incremental re-routing (ECO mode) on
+#                  churn streams (baseline: the mode=full rows, i.e. a
+#                  from-scratch core.Route of every post-edit net; the eco
+#                  speedup is full/eco within one measured block, so it is
+#                  machine independent).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -65,17 +70,34 @@ EOF
     "BenchmarkParetoFilterItems/n=4096": {"ns_op": 2827310, "b_op": 98528, "allocs_op": 5}
 EOF
     ;;
+  pr6)
+    PATTERN='BenchmarkReroute'
+    OUT="${2:-BENCH_PR6.json}"
+    BASELINE_KEY="baseline_full_reroute"
+    cat > "$BASEFILE" <<'BASE'
+    "note": "from-scratch routing of every post-edit net, frozen from the mode=full rows at the PR 6 merge point (Intel Xeon @ 2.10GHz); compare eco vs full within one measured block for the speedup",
+    "BenchmarkReroute/degree=16/frac=5/mode=full": {"ns_op": 21032742},
+    "BenchmarkReroute/degree=16/frac=10/mode=full": {"ns_op": 25181678},
+    "BenchmarkReroute/degree=32/frac=5/mode=full": {"ns_op": 97088346},
+    "BenchmarkReroute/degree=32/frac=10/mode=full": {"ns_op": 147340865},
+    "BenchmarkReroute/degree=64/frac=5/mode=full": {"ns_op": 97989838},
+    "BenchmarkReroute/degree=64/frac=10/mode=full": {"ns_op": 127055768}
+BASE
+    ;;
   *)
-    echo "unknown suite: $SUITE (want pr2, pr4 or pr5)" >&2
+    echo "unknown suite: $SUITE (want pr2, pr4, pr5 or pr6)" >&2
     exit 2
     ;;
 esac
 
-go test -run '^$' -bench "$PATTERN" -benchmem "${PKG:-.}" | tee "$TMP"
+# BENCHTIME (e.g. BENCHTIME=30x) pins the iteration count; the heavy
+# reroute cells need it for stable ratios.
+go test -run '^$' -bench "$PATTERN" -benchmem ${BENCHTIME:+-benchtime "$BENCHTIME"} "${PKG:-.}" | tee "$TMP"
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
     -v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
-    -v pattern="$PATTERN" -v basekey="$BASELINE_KEY" -v basefile="$BASEFILE" '
+    -v pattern="$PATTERN${BENCHTIME:+ -benchtime $BENCHTIME}" \
+    -v basekey="$BASELINE_KEY" -v basefile="$BASEFILE" '
   /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
