@@ -16,6 +16,7 @@ import (
 	"patlabor/internal/dw"
 	"patlabor/internal/eco"
 	"patlabor/internal/exp"
+	"patlabor/internal/hier"
 	"patlabor/internal/lut"
 	"patlabor/internal/netgen"
 	"patlabor/internal/salt"
@@ -215,6 +216,58 @@ func BenchmarkRouteAll(b *testing.B) {
 			}
 			b.ReportMetric(float64(len(nets)), "nets/op")
 		})
+	}
+}
+
+// BenchmarkHugeNet measures the hierarchical router (internal/hier) on
+// mega-clustered nets of degree 64–4096 — the clock/reset-spine regime the
+// flat local search cannot reach interactively. Crossover 32 forces even
+// the degree-64 cells through the clustered two-level path so the
+// mode=flat rows at degrees 64 and 256 give a hier-vs-flat pair on both
+// sides of the default crossover; past 256 the flat search is omitted
+// (minutes per op). workers=max fans the per-cluster subproblems over
+// GOMAXPROCS workers; results are byte-identical at any worker count (the
+// differential test in internal/hier enforces it), so the workers rows
+// differ only in wall clock. scripts/bench.sh pr7 records this suite in
+// BENCH_PR7.json against the frozen flat baseline.
+func BenchmarkHugeNet(b *testing.B) {
+	for _, deg := range []int{64, 256, 1024, 4096} {
+		rng := rand.New(rand.NewSource(int64(3000 + deg)))
+		net := netgen.MegaClustered(rng, deg, 1000000, deg/80+2, 30000)
+		// Warm the shared lookup table outside the timed region.
+		if _, err := hier.Route(net, hier.Options{Crossover: 32}); err != nil {
+			b.Fatal(err)
+		}
+		for _, w := range []struct {
+			label string
+			n     int
+		}{{"1", 1}, {"max", runtime.GOMAXPROCS(0)}} {
+			b.Run(fmt.Sprintf("degree=%d/mode=hier/workers=%s", deg, w.label), func(b *testing.B) {
+				opts := hier.Options{Crossover: 32, Workers: w.n}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					items, err := hier.Route(net, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(items) == 0 {
+						b.Fatal("empty frontier")
+					}
+				}
+			})
+		}
+		if deg <= 256 {
+			b.Run(fmt.Sprintf("degree=%d/mode=flat", deg), func(b *testing.B) {
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := core.Route(net, core.Options{}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

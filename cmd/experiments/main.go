@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [-exp all|fig6|table2|table3|table4|fig7a|fig7b|fig7c|thm1|thm2|ablation|eco]
+//	experiments [-exp all|fig6|table2|table3|table4|fig7a|fig7b|fig7c|thm1|thm2|ablation|eco|hugenet]
 //	            [-quick] [-designs N] [-nets N] [-seed S] [-timeout 10m]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
@@ -28,7 +28,7 @@ import (
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment to run (all, fig6, table2, table3, table4, fig7a, fig7b, fig7c, thm1, thm2, thm5, ablation, groute, eco)")
+	which := flag.String("exp", "all", "experiment to run (all, fig6, table2, table3, table4, fig7a, fig7b, fig7c, thm1, thm2, thm5, ablation, groute, eco, hugenet)")
 	quick := flag.Bool("quick", false, "use reduced sample sizes")
 	designs := flag.Int("designs", 0, "override number of designs")
 	nets := flag.Int("nets", 0, "override nets per design")
@@ -190,6 +190,13 @@ func run(ctx context.Context, cfg exp.Config, which string) error {
 	}
 	if want("eco") {
 		res, err := exp.RunEco(ctx, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	if want("hugenet") {
+		res, err := exp.RunHugeNet(ctx, cfg)
 		if err != nil {
 			return err
 		}

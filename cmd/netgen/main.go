@@ -6,11 +6,17 @@
 //
 //	netgen -o outdir [-designs 8] [-nets 800] [-seed 1]
 //	netgen -gadget 3 -o outdir
+//	netgen -mega 8 -megadeg 1024 -o outdir
+//
+// -mega emits one file of clustered mega-nets (blob-structured
+// high-fanout nets of degree -megadeg, internal/hier territory) instead
+// of the suite.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
 
@@ -24,6 +30,8 @@ func main() {
 	nets := flag.Int("nets", 800, "nets per design")
 	seed := flag.Int64("seed", 1, "suite seed")
 	gadget := flag.Int("gadget", 0, "emit one Theorem-1 gadget with m gadgets instead of the suite")
+	mega := flag.Int("mega", 0, "emit this many clustered mega-nets instead of the suite")
+	megadeg := flag.Int("megadeg", 1024, "degree of each mega-net (with -mega)")
 	flag.Parse()
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
@@ -39,6 +47,20 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s (%d pins)\n", path, net.Degree())
+		return
+	}
+	if *mega > 0 {
+		rng := rand.New(rand.NewSource(*seed))
+		named := make([]bookshelf.NamedNet, *mega)
+		for i := range named {
+			net := netgen.MegaClustered(rng, *megadeg, 1000000, *megadeg/80+2, 30000)
+			named[i] = bookshelf.NamedNet{Name: fmt.Sprintf("mega_d%d_n%03d", *megadeg, i), Net: net}
+		}
+		path := filepath.Join(*out, fmt.Sprintf("mega_d%d.nets", *megadeg))
+		if err := bookshelf.WriteFile(path, named); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d nets of degree %d)\n", path, *mega, *megadeg)
 		return
 	}
 	cfg := netgen.DefaultSuiteConfig()

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	patlabor -nets nets.txt [-method patlabor|salt|ysd|pd|ks|dw|rsmt|rsma]
+//	patlabor -nets nets.txt [-method patlabor|hier|salt|ysd|pd|ks|dw|rsmt|rsma]
 //	         [-lambda 9] [-table tables.gob] [-workers N] [-timeout 30s]
 //	         [-nocache] [-stats] [-v]
 //	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
@@ -11,7 +11,10 @@
 // Every method routes the whole file as one batch on a worker pool
 // (-workers, default GOMAXPROCS; output order and content are identical at
 // any worker count). -method picks any entrant of the method registry —
-// patlabor (default), the baselines, or an alias like dw/exact. -timeout
+// patlabor (default), hier (the hierarchical router for huge nets, which
+// routes nets at or below its crossover degree exactly like patlabor's
+// core and clusters the rest), the baselines, or an alias like dw/exact.
+// -timeout
 // bounds the whole batch: when it expires, in-flight nets abort at their
 // next iteration check and the command fails. -nocache disables the
 // sub-frontier memo and the batch net dedup (output is byte-identical

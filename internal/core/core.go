@@ -20,6 +20,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"patlabor/internal/dw"
 	"patlabor/internal/geom"
@@ -282,13 +283,50 @@ func chunkSelection(n, k, round int) []int {
 }
 
 // subFrontier computes the exact Pareto frontier of source + selected
-// pins, with trees relabelled into the parent net's pin frame. With a
-// cache, the window is answered from the memo when an equivalent window
-// (same canonical form for table-covered degrees, same translation class
-// otherwise) was solved before; see SubCache for why each key level is
-// byte-exact.
+// pins, with trees relabelled into the parent net's pin frame.
 func subFrontier(ctx context.Context, net tree.Net, sel []int, opts Options, cache *SubCache, ks *keyScratch) ([]pareto.Item[*tree.Tree], error) {
-	pins := append([]int{0}, sel...)
+	return windowFrontier(ctx, net, append([]int{0}, sel...), opts, cache, ks)
+}
+
+// windowScratch pools key-construction buffers for WindowFrontier callers
+// that have no per-search keyScratch of their own (the hierarchical
+// router's cluster fan-out runs thousands of windows per net across
+// workers).
+var windowScratch = sync.Pool{New: func() any { return new(keyScratch) }}
+
+// WindowFrontier computes the exact Pareto frontier of the window given by
+// parent-net pin indices — pins[0] is the window's source — with trees
+// relabelled into the parent net's pin frame. It is the local search's
+// sub-frontier solve exposed for external window decompositions
+// (internal/hier routes every cluster through it): the window hits the
+// lookup table's symbolic path when its degree is covered and the
+// sub-frontier memo passed in opts.Cache (nil means no memo), so results
+// are byte-identical with the memo cold, warm, or absent.
+func WindowFrontier(ctx context.Context, net tree.Net, pins []int, opts Options) ([]pareto.Item[*tree.Tree], error) {
+	if len(pins) < 2 {
+		return nil, fmt.Errorf("core: window needs at least 2 pins, got %d", len(pins))
+	}
+	for _, p := range pins {
+		if p < 0 || p >= net.Degree() {
+			return nil, fmt.Errorf("core: window pin %d out of range [0,%d)", p, net.Degree())
+		}
+	}
+	cache := opts.Cache
+	if opts.NoCache {
+		cache = nil
+	}
+	ks := windowScratch.Get().(*keyScratch)
+	defer windowScratch.Put(ks)
+	return windowFrontier(ctx, net, pins, opts, cache, ks)
+}
+
+// windowFrontier computes the exact Pareto frontier of the window of
+// parent-net pin indices pins (pins[0] is the window source), with trees
+// relabelled into the parent net's pin frame. With a cache, the window is
+// answered from the memo when an equivalent window (same canonical form
+// for table-covered degrees, same translation class otherwise) was solved
+// before; see SubCache for why each key level is byte-exact.
+func windowFrontier(ctx context.Context, net tree.Net, pins []int, opts Options, cache *SubCache, ks *keyScratch) ([]pareto.Item[*tree.Tree], error) {
 	sub := tree.Net{Pins: make([]geom.Point, len(pins))}
 	for i, p := range pins {
 		sub.Pins[i] = net.Pins[p]

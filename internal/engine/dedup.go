@@ -128,7 +128,13 @@ func degreeBucket(n int) string {
 		return "17-32"
 	case n <= 64:
 		return "33-64"
+	case n <= 100:
+		return "65-100"
+	case n <= 1000:
+		return "101-1000"
+	case n <= 10000:
+		return "1001-10000"
 	default:
-		return "65+"
+		return "10001+"
 	}
 }

@@ -38,10 +38,12 @@ import (
 
 	"patlabor/internal/core"
 	"patlabor/internal/eco"
+	"patlabor/internal/hier"
 	"patlabor/internal/lut"
 	"patlabor/internal/method"
 	"patlabor/internal/pareto"
 	"patlabor/internal/policy"
+	"patlabor/internal/pool"
 	"patlabor/internal/tree"
 )
 
@@ -102,6 +104,10 @@ type Engine struct {
 	eco *eco.Session
 	// baseEco rebases the eco counters on Reset.
 	baseEco eco.Stats
+	// hier collects the hierarchical router's cluster counters (nil for
+	// every other method); baseHier rebases the additive ones on Reset.
+	hier     *hier.Counters
+	baseHier hier.CounterSnapshot
 	// base subtracts table traffic that predates this engine (the lut
 	// counters are per-table, and the default table is shared
 	// process-wide).
@@ -159,6 +165,7 @@ func New(opts Options) (*Engine, error) {
 	counting := table
 	var subCache *core.SubCache
 	var session *eco.Session
+	var hierStats *hier.Counters
 	dedup := false
 	if method.Key(name) == "patlabor" {
 		if !opts.NoCache {
@@ -195,6 +202,33 @@ func New(opts Options) (*Engine, error) {
 			// degrees), so that cost lands in construction, not mid-batch.
 			counting = lut.Default()
 		}
+	} else if method.Key(name) == "hier" || method.Key(name) == "hierarchical" {
+		if !opts.NoCache {
+			subCache = core.NewSubCache(0)
+			// The hierarchical pipeline is translation-equivariant end to
+			// end (the partition compares coordinates, the port choice
+			// compares distances, and the window solves inherit core's
+			// contract), and nets small enough for the canonical 'S' key
+			// route flat through core — so the batch dedup's guarantees
+			// hold for hier exactly as for patlabor.
+			dedup = true
+		}
+		hierStats = &hier.Counters{}
+		m = method.Hier(hier.Options{
+			Workers: workers,
+			Core: core.Options{
+				Lambda:     opts.Lambda,
+				Iterations: opts.Iterations,
+				Table:      table,
+				Params:     opts.Params,
+				Cache:      subCache,
+				NoCache:    opts.NoCache,
+			},
+			Stats: hierStats,
+		})
+		if counting == nil {
+			counting = lut.Default()
+		}
 	} else {
 		mm, ok := method.Get(name)
 		if !ok {
@@ -218,6 +252,7 @@ func New(opts Options) (*Engine, error) {
 		dedup:    dedup,
 		subCache: subCache,
 		eco:      session,
+		hier:     hierStats,
 	}
 	if counting != nil {
 		e.base = snapshotTable(counting)
@@ -247,7 +282,7 @@ func (e *Engine) RouteAll(ctx context.Context, nets []tree.Net) ([]Result, error
 	out := make([]Result, len(nets))
 	local := make([]collector, e.workers)
 	start := time.Now()
-	err := forEach(ctx, len(nets), e.workers, func(worker, i int) error {
+	err := pool.Each(ctx, len(nets), e.workers, func(worker, i int) error {
 		if assigns != nil && assigns[i].rep != i {
 			return nil // synthesized from its representative after the pass
 		}
@@ -342,6 +377,16 @@ func (e *Engine) Stats() Stats {
 		s.DirtySubtrees = es.DirtySubtrees - e.baseEco.DirtySubtrees
 		s.CacheInvalidations = es.CacheInvalidations - e.baseEco.CacheInvalidations
 	}
+	if e.hier != nil {
+		hs := e.hier.Snapshot()
+		s.HierNets = hs.Nets - e.baseHier.Nets
+		s.HierFlat = hs.Flat - e.baseHier.Flat
+		s.HierClusters = hs.Clusters - e.baseHier.Clusters
+		s.HierSingletons = hs.Singletons - e.baseHier.Singletons
+		// High-water marks do not rebase.
+		s.HierMaxCluster = hs.MaxCluster
+		s.HierMaxLevels = hs.MaxLevels
+	}
 	return s
 }
 
@@ -362,6 +407,9 @@ func (e *Engine) Reset() {
 	if e.eco != nil {
 		e.baseEco = e.eco.Stats()
 	}
+	if e.hier != nil {
+		e.baseHier = e.hier.Snapshot()
+	}
 }
 
 // RouteAll is the one-shot convenience: build an engine and route the
@@ -381,7 +429,8 @@ func RouteAll(ctx context.Context, nets []tree.Net, opts Options) ([]Result, err
 // deterministic even though scheduling is not. It is the parallel-for the
 // experiment harness uses to keep aggregation order-independent: workers
 // write only to their own index's slot, aggregation happens serially
-// afterwards.
+// afterwards. The implementation lives in internal/pool, shared with the
+// hierarchical router's intra-net cluster fan-out.
 func ForEach(n, workers int, fn func(i int) error) error {
 	return ForEachContext(context.Background(), n, workers, fn)
 }
@@ -390,80 +439,5 @@ func ForEach(n, workers int, fn func(i int) error) error {
 // dispatching, the pool drains, and ctx.Err() is returned (taking
 // precedence over any per-index error).
 func ForEachContext(ctx context.Context, n, workers int, fn func(i int) error) error {
-	return forEach(ctx, n, workers, func(_, i int) error { return fn(i) })
-}
-
-func forEach(ctx context.Context, n, workers int, fn func(worker, i int) error) error {
-	if err := ctx.Err(); err != nil {
-		return err
-	}
-	if n == 0 {
-		return nil
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers == 1 {
-		for i := 0; i < n; i++ {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			if err := fn(0, i); err != nil {
-				// Match the pooled path: a cancellation-caused failure
-				// surfaces as ctx.Err(), not the per-index wrapper.
-				if cerr := ctx.Err(); cerr != nil {
-					return cerr
-				}
-				return err
-			}
-		}
-		return nil
-	}
-	jobs := make(chan int)
-	errs := make([]error, n)
-	var failed sync.Once
-	stop := make(chan struct{})
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(worker int) {
-			defer wg.Done()
-			for i := range jobs {
-				if err := fn(worker, i); err != nil {
-					errs[i] = err
-					failed.Do(func() { close(stop) })
-				}
-			}
-		}(w)
-	}
-	// Dispatch in index order: when a failure closes stop, every index
-	// below the failed one has already been handed out, so after wg.Wait
-	// the lowest non-nil error is stable across runs. Cancellation closes
-	// the same window: no further index is handed out, handed-out indices
-	// abort at their next internal ctx check, and the workers exit when
-	// the job channel closes — nothing leaks.
-dispatch:
-	for i := 0; i < n; i++ {
-		select {
-		case jobs <- i:
-		case <-stop:
-			break dispatch
-		case <-ctx.Done():
-			break dispatch
-		}
-	}
-	close(jobs)
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		return err
-	}
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return pool.Each(ctx, n, workers, func(_, i int) error { return fn(i) })
 }

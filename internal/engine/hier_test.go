@@ -1,0 +1,85 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"patlabor/internal/geom"
+	"patlabor/internal/netgen"
+	"patlabor/internal/tree"
+)
+
+// TestEngineHierMethod wires the hierarchical router through the engine:
+// a mixed batch (small nets on the flat path, huge nets on the clustered
+// path, plus a translated duplicate that must route to the same Sols) is
+// byte-identical with workers 1 + cache off and workers 4 + cache on, and
+// the hier counters surface through Stats.
+func TestEngineHierMethod(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	nets := []tree.Net{
+		netgen.Uniform(rng, 5, 4000),
+		netgen.Clustered(rng, 30, 100000, 4000),
+		netgen.MegaClustered(rng, 90, 100000, 5, 6000),
+		netgen.MegaClustered(rng, 200, 100000, 8, 8000),
+		netgen.Uniform(rng, 70, 30000),
+	}
+	// Translated duplicate of the degree-90 net: same relative geometry,
+	// shifted die position — the batch dedup's 'L' key unifies it, and
+	// translation equivariance demands identical frontier Sols.
+	nets = append(nets, translateNet(geom.Pt(777, -333), nets[2]))
+
+	ref, err := RouteAll(context.Background(), nets, Options{Method: "hier", Workers: 1, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(Options{Method: "hier", Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.RouteAll(context.Background(), nets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range nets {
+		if len(got[i]) == 0 {
+			t.Fatalf("net %d: empty frontier", i)
+		}
+		if fmt.Sprint(solsOf(got[i])) != fmt.Sprint(solsOf(ref[i])) {
+			t.Fatalf("net %d (degree %d): cached parallel frontier differs from serial cache-less",
+				i, nets[i].Degree())
+		}
+		for k, c := range got[i] {
+			if err := c.Val.Validate(nets[i]); err != nil {
+				t.Fatalf("net %d candidate %d: %v", i, k, err)
+			}
+		}
+	}
+	if fmt.Sprint(solsOf(got[2])) != fmt.Sprint(solsOf(got[len(got)-1])) {
+		t.Fatal("translated duplicate produced a different frontier")
+	}
+
+	s := e.Stats()
+	// Degrees 90, 200 and 70 route hierarchically; the translated
+	// duplicate is served by the batch dedup without a fourth route.
+	if s.HierNets != 3 {
+		t.Fatalf("HierNets = %d, want 3", s.HierNets)
+	}
+	if s.HierFlat != 2 {
+		t.Fatalf("HierFlat = %d, want 2", s.HierFlat)
+	}
+	if s.HierClusters == 0 || s.HierMaxCluster < 2 || s.HierMaxLevels < 1 {
+		t.Fatalf("hier shape counters missing: %+v", s)
+	}
+	text := s.String()
+	if !strings.Contains(text, "hier") {
+		t.Fatalf("Stats string lacks hier lines:\n%s", text)
+	}
+
+	e.Reset()
+	if s := e.Stats(); s.HierNets != 0 || s.HierClusters != 0 {
+		t.Fatalf("Reset did not rebase hier counters: %+v", s)
+	}
+}

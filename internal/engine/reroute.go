@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"patlabor/internal/eco"
+	"patlabor/internal/pool"
 	"patlabor/internal/tree"
 )
 
@@ -28,7 +29,7 @@ func (e *Engine) Track(ctx context.Context, nets []tree.Net) ([]*eco.Handle, err
 	methodName := e.method.Name()
 	local := make([]collector, e.workers)
 	start := time.Now()
-	err := forEach(ctx, len(nets), e.workers, func(worker, i int) error {
+	err := pool.Each(ctx, len(nets), e.workers, func(worker, i int) error {
 		t0 := time.Now()
 		h, terr := e.eco.Track(ctx, nets[i])
 		if terr != nil {
@@ -62,7 +63,7 @@ func (e *Engine) RerouteBatch(ctx context.Context, handles []*eco.Handle, edits 
 	methodName := e.method.Name()
 	local := make([]collector, e.workers)
 	start := time.Now()
-	err := forEach(ctx, len(handles), e.workers, func(worker, i int) error {
+	err := pool.Each(ctx, len(handles), e.workers, func(worker, i int) error {
 		t0 := time.Now()
 		items, rerr := handles[i].Reroute(ctx, edits[i])
 		if rerr != nil {

@@ -94,6 +94,18 @@ type Stats struct {
 	// geometry an edit changed).
 	DirtySubtrees      int64
 	CacheInvalidations int64
+	// Hier* expose the hierarchical router's traffic (internal/hier,
+	// method "hier" only): nets above the crossover routed via clustered
+	// two-level trees versus nets handed straight to the flat router;
+	// cluster subproblems solved (plus single-pin clusters needing none);
+	// and the lifetime high-water marks for cluster size and recursion
+	// depth (not rebased by Reset).
+	HierNets       int64
+	HierFlat       int64
+	HierClusters   int64
+	HierSingletons int64
+	HierMaxCluster int64
+	HierMaxLevels  int64
 	// Methods breaks NetsRouted/Errors down per routing method, sorted by
 	// method name. A single engine routes with one method, but counters
 	// survive Reset-free engine reuse and merge across batches.
@@ -110,7 +122,28 @@ type collector struct {
 	degrees map[int]*DegreeLatency
 }
 
+// degreeBin coarsens large degrees for the per-degree histograms: exact
+// below 65, then one bin per decade boundary (≤100, ≤1000, ≤10000,
+// above), so a mega-net batch (internal/hier territory, degrees 10³–10⁴)
+// keeps the Degrees table at a bounded row count instead of one row per
+// distinct huge degree.
+func degreeBin(n int) int {
+	switch {
+	case n <= 64:
+		return n
+	case n <= 100:
+		return 100
+	case n <= 1000:
+		return 1000
+	case n <= 10000:
+		return 10000
+	default:
+		return 100000
+	}
+}
+
 func (c *collector) record(degree int, d time.Duration) {
+	degree = degreeBin(degree)
 	c.nets++
 	c.busy += d
 	if c.degrees == nil {
@@ -224,9 +257,20 @@ func (s Stats) String() string {
 		fmt.Fprintf(&b, "eco dirty     %d dirty subtrees, %d cache invalidations\n",
 			s.DirtySubtrees, s.CacheInvalidations)
 	}
+	if s.HierNets > 0 || s.HierFlat > 0 {
+		fmt.Fprintf(&b, "hier          %d hierarchical / %d flat nets, %d clusters + %d singletons\n",
+			s.HierNets, s.HierFlat, s.HierClusters, s.HierSingletons)
+		fmt.Fprintf(&b, "hier shape    max cluster %d pins, max depth %d levels\n",
+			s.HierMaxCluster, s.HierMaxLevels)
+	}
 	for _, d := range s.Degrees {
-		fmt.Fprintf(&b, "degree %-4d   %6d nets  mean %-10s max %s\n",
-			d.Degree, d.Nets, d.Mean().Round(time.Microsecond), d.Max.Round(time.Microsecond))
+		// Rows past 64 are decade bins (see degreeBin): label the upper bound.
+		label := fmt.Sprintf("%-5d", d.Degree)
+		if d.Degree > 64 {
+			label = fmt.Sprintf("≤%-4d", d.Degree)
+		}
+		fmt.Fprintf(&b, "degree %s  %6d nets  mean %-10s max %s\n",
+			label, d.Nets, d.Mean().Round(time.Microsecond), d.Max.Round(time.Microsecond))
 	}
 	return b.String()
 }

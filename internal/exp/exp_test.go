@@ -189,3 +189,21 @@ func TestRunThm5Quick(t *testing.T) {
 		t.Fatal("render missing title")
 	}
 }
+
+func TestRunHugeNetQuick(t *testing.T) {
+	cfg := QuickConfig()
+	res, err := RunHugeNet(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 { // quick mode: degrees 64, 256, 1024
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.Counters.Nets == 0 || res.Counters.Clusters == 0 {
+		t.Fatalf("counters empty: %+v", res.Counters)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "Huge nets") || !strings.Contains(out, "byte-identity") {
+		t.Fatalf("render = %q", out)
+	}
+}

@@ -1,0 +1,130 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"patlabor/internal/core"
+	"patlabor/internal/engine"
+	"patlabor/internal/hier"
+	"patlabor/internal/netgen"
+	"patlabor/internal/pareto"
+	"patlabor/internal/textplot"
+	"patlabor/internal/tree"
+)
+
+// HugeNetResult is the hierarchical-routing experiment: per degree, the
+// clustered two-level router is timed at one worker and at the full pool,
+// verified byte-identical across the two, and compared against the flat
+// local search where the flat search is still feasible.
+type HugeNetResult struct {
+	Rows     [][]string
+	Counters hier.CounterSnapshot
+	Workers  int
+}
+
+// RunHugeNet times hierarchical routing on mega-clustered nets of degree
+// 64–4096 (quick: 64–1024). Per degree it routes the same net with
+// workers=1 and workers=N and demands byte-identical frontiers — the
+// intra-net determinism contract — then routes flat where the degree is
+// small enough (the flat local search is quadratic-ish in degree; past
+// ~256 it stops being interactive) and reports best-D/best-W ratios.
+// The degree-64 and degree-256 rows bound the dispatch overhead at the
+// crossover; the degree-1024/4096 rows are territory only the
+// hierarchical router reaches.
+func RunHugeNet(ctx context.Context, cfg Config) (*HugeNetResult, error) {
+	degrees := []int{64, 256, 1024, 4096}
+	flatMax := 256
+	if cfg.Quick {
+		degrees = []int{64, 256, 1024}
+		flatMax = 64
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	counters := &hier.Counters{}
+	res := &HugeNetResult{Workers: workers, Counters: hier.CounterSnapshot{}}
+	// Crossover 32 forces the degree-64 row through the clustered path
+	// too, so the table has a hier-vs-flat pair on both sides of the
+	// default crossover; all other knobs are defaults.
+	opts := func(w int) hier.Options {
+		return hier.Options{Crossover: 32, Workers: w, Stats: counters}
+	}
+	// Warm the shared lookup table outside the timed region so the first
+	// row does not pay the one-time eager generation cost.
+	warm := netgen.MegaClustered(rand.New(rand.NewSource(0)), 40, 100000, 2, 5000)
+	if _, err := hier.RouteContext(ctx, warm, hier.Options{Crossover: 32, Workers: 1}); err != nil {
+		return nil, fmt.Errorf("hugenet: warmup: %w", err)
+	}
+	for _, deg := range degrees {
+		rng := rand.New(rand.NewSource(cfg.Suite.Seed + int64(deg)))
+		net := netgen.MegaClustered(rng, deg, 1000000, deg/80+2, 30000)
+		before := counters.Snapshot()
+
+		var one, many []pareto.Item[*tree.Tree]
+		var oneTime, manyTime time.Duration
+		if err := timed(&oneTime, func() error {
+			items, err := hier.RouteContext(ctx, net, opts(1))
+			one = items
+			return err
+		}); err != nil {
+			return nil, fmt.Errorf("hugenet: degree %d workers=1: %w", deg, err)
+		}
+		if err := timed(&manyTime, func() error {
+			items, err := hier.RouteContext(ctx, net, opts(workers))
+			many = items
+			return err
+		}); err != nil {
+			return nil, fmt.Errorf("hugenet: degree %d workers=%d: %w", deg, workers, err)
+		}
+		if err := sameFrontier(engine.Result(many), engine.Result(one)); err != nil {
+			return nil, fmt.Errorf("hugenet: degree %d: workers=%d differs from workers=1: %w",
+				deg, workers, err)
+		}
+
+		after := counters.Snapshot()
+		clusters := fmt.Sprintf("%d", after.Clusters-before.Clusters)
+		flatTime, ratioD, ratioW := "-", "-", "-"
+		if deg <= flatMax {
+			var flat []pareto.Item[*tree.Tree]
+			var ft time.Duration
+			if err := timed(&ft, func() error {
+				items, err := core.RouteContext(ctx, net, core.Options{})
+				flat = items
+				return err
+			}); err != nil {
+				return nil, fmt.Errorf("hugenet: degree %d flat: %w", deg, err)
+			}
+			flatTime = fmtDur(ft)
+			ratioD = fmt.Sprintf("%.2fx", float64(one[len(one)-1].Sol.D)/float64(flat[len(flat)-1].Sol.D))
+			ratioW = fmt.Sprintf("%.2fx", float64(one[0].Sol.W)/float64(flat[0].Sol.W))
+		}
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprintf("%d", deg), clusters,
+			fmtDur(oneTime), fmtDur(manyTime), flatTime,
+			ratioD, ratioW, fmt.Sprintf("%d", len(one)),
+		})
+	}
+	res.Counters = counters.Snapshot()
+	return res, nil
+}
+
+// Render formats the hierarchical-routing table plus the cluster shape
+// counters and the determinism note.
+func (r *HugeNetResult) Render() string {
+	out := "Huge nets — hierarchical clustered routing vs flat local search\n"
+	out += textplot.Table(
+		[]string{"degree", "clusters", "hier w=1", fmt.Sprintf("hier w=%d", r.Workers),
+			"flat", "best-D", "best-W", "items"},
+		r.Rows)
+	c := r.Counters
+	out += fmt.Sprintf("\nhier counters: %d hierarchical nets, %d clusters + %d singletons, max cluster %d pins, max depth %d levels\n",
+		c.Nets, c.Clusters, c.Singletons, c.MaxCluster, c.MaxLevels)
+	out += fmt.Sprintf("byte-identity: every degree verified workers=%d ≡ workers=1 (node-for-node)\n", r.Workers)
+	out += "best-D/best-W are hier÷flat ratios where the flat search ran; \"-\" marks degrees past the flat baseline's feasible range\n"
+	return out
+}

@@ -1,0 +1,103 @@
+package hier
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"patlabor/internal/geom"
+	"patlabor/internal/tree"
+)
+
+// FuzzClusterPartition decodes arbitrary bytes into a pin placement and a
+// target cluster size and asserts the Partition/Port contract: every sink
+// lands in exactly one cluster, cluster sizes stay within [1, target],
+// ports are members, and a second run is identical — the invariants the
+// hierarchical router's determinism proof rests on. Degenerate seeds
+// (coincident, collinear, duplicated pins) are included explicitly.
+func FuzzClusterPartition(f *testing.F) {
+	// Seed corpus: coincident pins, a horizontal line, duplicates, and a
+	// generic scatter. Encoding: first byte = target, then 4-byte pairs of
+	// little-endian uint16 coordinates per pin.
+	coincident := []byte{4}
+	for i := 0; i < 12; i++ {
+		coincident = append(coincident, 0x10, 0x00, 0x10, 0x00)
+	}
+	f.Add(coincident)
+	line := []byte{3}
+	for i := 0; i < 10; i++ {
+		line = append(line, byte(i), 0x01, 0x42, 0x00)
+	}
+	f.Add(line)
+	dup := []byte{5}
+	for i := 0; i < 16; i++ {
+		dup = append(dup, byte(i%3), 0x00, byte(i%2), 0x00)
+	}
+	f.Add(dup)
+	scatter := []byte{9}
+	for i := 0; i < 40; i++ {
+		scatter = append(scatter, byte(i*37), byte(i*11), byte(i*53), byte(i*7))
+	}
+	f.Add(scatter)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 1+4*2 {
+			return // need a target byte and at least source + one sink
+		}
+		target := int(data[0]%16) + 2
+		data = data[1:]
+		n := len(data) / 4
+		if n > 4096 {
+			n = 4096
+		}
+		pins := make([]geom.Point, n)
+		for i := range pins {
+			x := int64(binary.LittleEndian.Uint16(data[4*i:]))
+			y := int64(binary.LittleEndian.Uint16(data[4*i+2:]))
+			pins[i] = geom.Pt(x, y)
+		}
+		net := tree.Net{Pins: pins}
+
+		clusters := Partition(net, target)
+		seen := make(map[int]bool, n-1)
+		for ci, cl := range clusters {
+			if len(cl) == 0 || len(cl) > target {
+				t.Fatalf("cluster %d has size %d, target %d", ci, len(cl), target)
+			}
+			member := false
+			port := Port(net, cl)
+			for _, p := range cl {
+				if p < 1 || p >= n {
+					t.Fatalf("cluster %d holds out-of-range pin %d (n=%d)", ci, p, n)
+				}
+				if seen[p] {
+					t.Fatalf("pin %d appears in two clusters", p)
+				}
+				seen[p] = true
+				if p == port {
+					member = true
+				}
+			}
+			if !member {
+				t.Fatalf("cluster %d port %d is not a member", ci, port)
+			}
+		}
+		if len(seen) != n-1 {
+			t.Fatalf("clusters cover %d of %d sinks", len(seen), n-1)
+		}
+
+		again := Partition(net, target)
+		if len(again) != len(clusters) {
+			t.Fatalf("re-partition produced %d clusters, first run %d", len(again), len(clusters))
+		}
+		for i := range again {
+			if len(again[i]) != len(clusters[i]) {
+				t.Fatalf("cluster %d size changed between runs", i)
+			}
+			for j := range again[i] {
+				if again[i][j] != clusters[i][j] {
+					t.Fatalf("cluster %d differs between runs at position %d", i, j)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,52 @@
+package hier
+
+import "sync/atomic"
+
+// Counters accumulates hierarchical-routing statistics across Route calls
+// and across the workers of the intra-net fan-out; all fields are atomic,
+// so one Counters value may be shared by an entire engine. The additive
+// counters (Nets, Flat, Clusters, Singletons) are deltas a caller can
+// rebase; MaxCluster and MaxLevels are high-water marks.
+type Counters struct {
+	// Nets counts nets that took the hierarchical path (degree above the
+	// crossover); Flat counts nets handed straight to the flat router.
+	Nets atomic.Int64
+	Flat atomic.Int64
+	// Clusters counts bottom-level cluster subproblems solved (at every
+	// recursion level); Singletons counts single-pin clusters, which need
+	// no subproblem — the top-level tree reaches their port directly.
+	Clusters   atomic.Int64
+	Singletons atomic.Int64
+	// MaxCluster is the largest cluster size seen; MaxLevels the deepest
+	// top-level recursion (1 = one cluster/top split).
+	MaxCluster atomic.Int64
+	MaxLevels  atomic.Int64
+}
+
+// CounterSnapshot is one point-in-time reading of a Counters.
+type CounterSnapshot struct {
+	Nets, Flat, Clusters, Singletons int64
+	MaxCluster, MaxLevels            int64
+}
+
+// Snapshot reads every counter.
+func (c *Counters) Snapshot() CounterSnapshot {
+	return CounterSnapshot{
+		Nets:       c.Nets.Load(),
+		Flat:       c.Flat.Load(),
+		Clusters:   c.Clusters.Load(),
+		Singletons: c.Singletons.Load(),
+		MaxCluster: c.MaxCluster.Load(),
+		MaxLevels:  c.MaxLevels.Load(),
+	}
+}
+
+// maxInto lifts a to at least v (atomic maximum).
+func maxInto(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}

@@ -114,7 +114,7 @@ func route(ctx context.Context, net tree.Net, pins []int, leaf int, opt Options,
 				return nil, err
 			}
 		}
-		return cap_(items, opt.MaxSet), nil
+		return pareto.CapItems(items, opt.MaxSet), nil
 	}
 	// Divide at the median pin of the alternating axis (the source always
 	// stays in the near half as its source; the far half is rooted at its
@@ -192,7 +192,7 @@ func route(ctx context.Context, net tree.Net, pins []int, leaf int, opt Options,
 			}
 		}
 	}
-	return cap_(set.Items(), opt.MaxSet), nil
+	return pareto.CapItems(set.Items(), opt.MaxSet), nil
 }
 
 func axisDist(a, b geom.Point, axis int) int64 {
@@ -200,25 +200,4 @@ func axisDist(a, b geom.Point, axis int) int64 {
 		return geom.Abs64(a.X - b.X)
 	}
 	return geom.Abs64(a.Y - b.Y)
-}
-
-// cap_ keeps at most k solutions, preferring an even spread across the
-// frontier (always keeping both endpoints).
-func cap_(items []pareto.Item[*tree.Tree], k int) []pareto.Item[*tree.Tree] {
-	if k <= 0 || len(items) <= k {
-		return items
-	}
-	out := make([]pareto.Item[*tree.Tree], 0, k)
-	for i := 0; i < k; i++ {
-		idx := i * (len(items) - 1) / (k - 1)
-		out = append(out, items[idx])
-	}
-	// Deduplicate possible repeats at the ends.
-	dst := out[:1]
-	for _, it := range out[1:] {
-		if it.Sol != dst[len(dst)-1].Sol {
-			dst = append(dst, it)
-		}
-	}
-	return dst
 }

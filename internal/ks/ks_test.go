@@ -128,7 +128,7 @@ func TestCapSpreadsAcrossFrontier(t *testing.T) {
 	for i := range items {
 		items[i] = pareto.Item[*tree.Tree]{Sol: pareto.Sol{W: int64(i), D: int64(9 - i)}}
 	}
-	out := cap_(items, 3)
+	out := pareto.CapItems(items, 3)
 	if len(out) != 3 {
 		t.Fatalf("cap kept %d", len(out))
 	}
@@ -137,15 +137,15 @@ func TestCapSpreadsAcrossFrontier(t *testing.T) {
 		t.Fatalf("cap dropped endpoints: %v", out)
 	}
 	// No-op cases.
-	if got := cap_(items, 0); len(got) != 9 {
+	if got := pareto.CapItems(items, 0); len(got) != 9 {
 		t.Fatal("cap 0 must keep all")
 	}
-	if got := cap_(items[:2], 5); len(got) != 2 {
+	if got := pareto.CapItems(items[:2], 5); len(got) != 2 {
 		t.Fatal("cap above size must keep all")
 	}
 	// Duplicate-collapsing path: capping 2 of 2 identical-ends.
 	two := items[:2]
-	if got := cap_(two, 2); len(got) != 2 {
+	if got := pareto.CapItems(two, 2); len(got) != 2 {
 		t.Fatalf("cap = %v", got)
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"patlabor/internal/core"
 	"patlabor/internal/dw"
+	"patlabor/internal/hier"
 	"patlabor/internal/ks"
 	"patlabor/internal/pareto"
 	"patlabor/internal/pd"
@@ -22,6 +23,18 @@ import (
 func PatLabor(opts core.Options) Method {
 	return NewFunc("PatLabor", func(ctx context.Context, net tree.Net) ([]pareto.Item[*tree.Tree], error) {
 		return core.RouteContext(ctx, net, opts)
+	})
+}
+
+// Hier returns the hierarchical huge-net router with the given options:
+// nets at or below the crossover degree dispatch to the flat PatLabor
+// core unchanged, larger nets route via clustered two-level trees with
+// the cluster subproblems fanned out over an intra-net worker pool. The
+// registry's built-in "hier" entry uses the zero Options (crossover 64,
+// LUT-sized clusters, GOMAXPROCS workers).
+func Hier(opts hier.Options) Method {
+	return NewFunc("Hier", func(ctx context.Context, net tree.Net) ([]pareto.Item[*tree.Tree], error) {
+		return hier.RouteContext(ctx, net, opts)
 	})
 }
 
@@ -55,4 +68,5 @@ func init() {
 	}), "dw", "exact")
 	Register(singleTree("RSMT", rsmt.Tree))
 	Register(singleTree("RSMA", rsma.Tree))
+	Register(Hier(hier.Options{}), "hierarchical")
 }

@@ -100,6 +100,38 @@ func ClusteredDriver(rng *rand.Rand, n int, span, clusterSpan int64) tree.Net {
 	return net
 }
 
+// MegaClustered returns a huge-degree net (internal/hier territory,
+// degree 10³–10⁴) shaped like a placed high-fanout net — a clock or reset
+// spine: the sinks fall into `blobs` pin clusters of window size blobSpan
+// scattered uniformly on the die, and the source sits at an independent
+// uniform position (a driver far from most blobs). The blob structure is
+// what the hierarchical router's geometric partition should rediscover.
+func MegaClustered(rng *rand.Rand, n int, span int64, blobs int, blobSpan int64) tree.Net {
+	if n < 2 {
+		n = 2
+	}
+	if blobs < 1 {
+		blobs = 1
+	}
+	if blobSpan < 1 {
+		blobSpan = 1
+	}
+	if blobSpan > span {
+		blobSpan = span
+	}
+	centers := make([]geom.Point, blobs)
+	for i := range centers {
+		centers[i] = geom.Pt(rng.Int63n(span-blobSpan+1), rng.Int63n(span-blobSpan+1))
+	}
+	pins := make([]geom.Point, n)
+	pins[0] = geom.Pt(rng.Int63n(span), rng.Int63n(span))
+	for i := 1; i < n; i++ {
+		c := centers[rng.Intn(blobs)]
+		pins[i] = geom.Pt(c.X+rng.Int63n(blobSpan), c.Y+rng.Int63n(blobSpan))
+	}
+	return tree.Net{Pins: pins}
+}
+
 func clampCoord(x, span int64) int64 {
 	if x < 0 {
 		return 0

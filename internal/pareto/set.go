@@ -104,3 +104,31 @@ func (s *Set[T]) MaxDelayItem() (Item[T], bool) {
 	}
 	return s.items[0], true
 }
+
+// CapItems keeps at most k items of a frontier in canonical order,
+// preferring an even spread across it (both endpoints always survive).
+// k <= 0 means no cap; the input slice is returned unchanged when it
+// already fits. Divide-and-conquer combiners (internal/ks, internal/hier)
+// use it to keep carried set sizes — and therefore combination cost —
+// bounded at a small loss of frontier resolution.
+func CapItems[T any](items []Item[T], k int) []Item[T] {
+	if k <= 0 || len(items) <= k {
+		return items
+	}
+	if k == 1 {
+		return items[:1:1]
+	}
+	out := make([]Item[T], 0, k)
+	for i := 0; i < k; i++ {
+		idx := i * (len(items) - 1) / (k - 1)
+		out = append(out, items[idx])
+	}
+	// Deduplicate possible repeats at the ends.
+	dst := out[:1]
+	for _, it := range out[1:] {
+		if it.Sol != dst[len(dst)-1].Sol {
+			dst = append(dst, it)
+		}
+	}
+	return dst
+}

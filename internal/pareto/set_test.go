@@ -110,3 +110,32 @@ func TestFilterItemsEmpty(t *testing.T) {
 		t.Fatalf("FilterItems(nil) = %v", out)
 	}
 }
+
+func TestCapItems(t *testing.T) {
+	items := make([]Item[string], 9)
+	for i := range items {
+		items[i] = Item[string]{Sol: Sol{W: int64(i), D: int64(9 - i)}}
+	}
+	out := CapItems(items, 4)
+	if len(out) != 4 {
+		t.Fatalf("CapItems kept %d of 9 at k=4", len(out))
+	}
+	if out[0].Sol != items[0].Sol || out[len(out)-1].Sol != items[8].Sol {
+		t.Fatalf("CapItems dropped an endpoint: %+v", out)
+	}
+	// Even spread: indices must be strictly increasing in W.
+	for i := 1; i < len(out); i++ {
+		if out[i].Sol.W <= out[i-1].Sol.W {
+			t.Fatalf("CapItems not increasing at %d: %+v", i, out)
+		}
+	}
+	if got := CapItems(items, 0); len(got) != 9 {
+		t.Fatal("k=0 must keep all")
+	}
+	if got := CapItems(items, 1); len(got) != 1 || got[0].Sol != items[0].Sol {
+		t.Fatalf("k=1 must keep exactly the first item, got %+v", got)
+	}
+	if got := CapItems(items[:3], 7); len(got) != 3 {
+		t.Fatal("k above size must keep all")
+	}
+}

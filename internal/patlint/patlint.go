@@ -77,7 +77,7 @@ const (
 var exactPkgs = map[string]bool{
 	"geom": true, "tree": true, "pareto": true, "dw": true, "ks": true,
 	"hanan": true, "param": true, "lut": true, "rsmt": true, "rsma": true,
-	"eco": true,
+	"eco": true, "hier": true,
 }
 
 // algoPkgs extends the exact set with the packages whose *outputs* must be
@@ -91,7 +91,7 @@ var algoPkgs = map[string]bool{
 var routingPkgs = map[string]bool{
 	"core": true, "dw": true, "ks": true, "ysd": true, "engine": true,
 	"method": true, "salt": true, "pd": true, "rsmt": true, "rsma": true,
-	"eco": true,
+	"eco": true, "hier": true, "pool": true,
 }
 
 // floatAllowed documents the packages where floats are legitimate

@@ -1,0 +1,99 @@
+// Package pool provides the repo's deterministic parallel-for: a bounded
+// worker pool dispatching indices in order, with per-index error capture
+// and context cancellation. It is the concurrency primitive shared by the
+// batch engine (across nets) and the hierarchical router (across clusters
+// of one net); both owe it the standing determinism contract — callers
+// write results only to their own index's slot and aggregate serially, so
+// output is byte-identical at any worker count.
+package pool
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Each runs fn(worker, i) for every i in [0,n) on a pool of `workers`
+// goroutines (<=0 means GOMAXPROCS; the pool never exceeds n). worker is
+// the goroutine's index in [0,workers): callers use it to address
+// per-worker scratch without locking. Indices are dispatched in order; on
+// failure the pool drains in-flight work, stops dispatching, and returns
+// the error of the lowest failed index — so the reported error is
+// deterministic even though scheduling is not. When ctx is cancelled,
+// dispatch stops, handed-out indices abort at their next internal ctx
+// check, and ctx.Err() is returned (taking precedence over per-index
+// errors).
+func Each(ctx context.Context, n, workers int, fn func(worker, i int) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if n == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(0, i); err != nil {
+				// Match the pooled path: a cancellation-caused failure
+				// surfaces as ctx.Err(), not the per-index wrapper.
+				if cerr := ctx.Err(); cerr != nil {
+					return cerr
+				}
+				return err
+			}
+		}
+		return nil
+	}
+	jobs := make(chan int)
+	errs := make([]error, n)
+	var failed sync.Once
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for i := range jobs {
+				if err := fn(worker, i); err != nil {
+					errs[i] = err
+					failed.Do(func() { close(stop) })
+				}
+			}
+		}(w)
+	}
+	// Dispatch in index order: when a failure closes stop, every index
+	// below the failed one has already been handed out, so after wg.Wait
+	// the lowest non-nil error is stable across runs. Cancellation closes
+	// the same window: no further index is handed out, handed-out indices
+	// abort at their next internal ctx check, and the workers exit when
+	// the job channel closes — nothing leaks.
+dispatch:
+	for i := 0; i < n; i++ {
+		select {
+		case jobs <- i:
+		case <-stop:
+			break dispatch
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package pool
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestEachCoversAll: every index is visited exactly once at any worker
+// count, including the serial path.
+func TestEachCoversAll(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 64} {
+		var mu sync.Mutex
+		seen := make(map[int]int)
+		err := Each(context.Background(), 100, workers, func(worker, i int) error {
+			mu.Lock()
+			seen[i]++
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := 0; i < 100; i++ {
+			if seen[i] != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, seen[i])
+			}
+		}
+	}
+}
+
+// TestEachLowestError: when several jobs fail, the error of the
+// lowest-failing index wins — the determinism contract callers (engine
+// batches, hier cluster fan-out) rely on.
+func TestEachLowestError(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		err := Each(context.Background(), 50, workers, func(worker, i int) error {
+			if i%7 == 3 {
+				return fmt.Errorf("job %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "job 3 failed" {
+			t.Fatalf("workers=%d: err %v, want job 3's", workers, err)
+		}
+	}
+}
+
+// TestEachPreCancelled: a cancelled context wins over job errors on the
+// serial path and aborts promptly on the parallel path.
+func TestEachPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 8} {
+		ran := 0
+		err := Each(ctx, 10, workers, func(worker, i int) error {
+			ran++
+			return nil
+		})
+		if err != context.Canceled {
+			t.Fatalf("workers=%d: err %v, want context.Canceled", workers, err)
+		}
+		if workers == 1 && ran != 0 {
+			t.Fatalf("serial path ran %d jobs under a cancelled context", ran)
+		}
+	}
+}

@@ -6,7 +6,7 @@
 # when absolute numbers matter; the allocs/op column is machine
 # independent.
 #
-# Usage: scripts/bench.sh [pr2|pr4|pr5|pr6] [output.json]
+# Usage: scripts/bench.sh [pr2|pr4|pr5|pr6|pr7] [output.json]
 #
 #   pr2 (default)  BenchmarkLUTQuery — the symbolic-first lookup-table
 #                  query fast path (baseline: materialize-every-topology
@@ -22,6 +22,11 @@
 #                  from-scratch core.Route of every post-edit net; the eco
 #                  speedup is full/eco within one measured block, so it is
 #                  machine independent).
+#   pr7            BenchmarkHugeNet — hierarchical clustered routing of
+#                  degree 64-4096 mega-nets (baseline: the flat local
+#                  search at the crossover degrees 64/256, frozen at the
+#                  PR 7 merge point; degrees 1024/4096 have no flat rows —
+#                  the flat search takes minutes there, which is the point).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -84,8 +89,18 @@ EOF
     "BenchmarkReroute/degree=64/frac=10/mode=full": {"ns_op": 127055768}
 BASE
     ;;
+  pr7)
+    PATTERN='BenchmarkHugeNet'
+    OUT="${2:-BENCH_PR7.json}"
+    BASELINE_KEY="baseline_flat_search"
+    cat > "$BASEFILE" <<'EOF'
+    "note": "flat local search (core.Route, default options) on the same mega-clustered nets, frozen from the mode=flat rows at the PR 7 merge point (Intel Xeon @ 2.10GHz); no flat rows exist past degree 256 because the flat search stops being interactive there",
+    "BenchmarkHugeNet/degree=64/mode=flat": {"ns_op": 150487625, "b_op": 28074912, "allocs_op": 109278},
+    "BenchmarkHugeNet/degree=256/mode=flat": {"ns_op": 284449704, "b_op": 41845886, "allocs_op": 154542}
+EOF
+    ;;
   *)
-    echo "unknown suite: $SUITE (want pr2, pr4, pr5 or pr6)" >&2
+    echo "unknown suite: $SUITE (want pr2, pr4, pr5, pr6 or pr7)" >&2
     exit 2
     ;;
 esac
