@@ -9,7 +9,10 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"runtime"
+	"sync"
 	"testing"
 
 	"patlabor/internal/core"
@@ -504,5 +507,106 @@ func BenchmarkReroute(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// benchTableFiles builds one degrees-2..5 table and saves it in both
+// on-disk formats, returning the two paths. The build is cached across
+// sub-benchmarks via sync.Once-style package state to keep -bench runs
+// from regenerating the table per case.
+func benchTableFiles(b *testing.B) (gobPath, flatPath string) {
+	b.Helper()
+	benchTableOnce.Do(func() {
+		tab := lut.New()
+		for d := 2; d <= 5; d++ {
+			if benchTableErr = tab.Generate(d, 0); benchTableErr != nil {
+				return
+			}
+		}
+		dir, err := os.MkdirTemp("", "patlabor-bench")
+		if err != nil {
+			benchTableErr = err
+			return
+		}
+		benchTableGob = filepath.Join(dir, "t.gob")
+		benchTableFlat = filepath.Join(dir, "t.plut")
+		if benchTableErr = tab.SaveFile(benchTableGob); benchTableErr != nil {
+			return
+		}
+		benchTableErr = tab.SaveFlatFile(benchTableFlat)
+	})
+	if benchTableErr != nil {
+		b.Fatal(benchTableErr)
+	}
+	return benchTableGob, benchTableFlat
+}
+
+var (
+	benchTableOnce sync.Once
+	benchTableErr  error
+	benchTableGob  string
+	benchTableFlat string
+)
+
+// BenchmarkColdStart measures time from LoadFile to the first answered
+// query — the interactive-startup cost a router pays before routing its
+// first net. The gob path decodes every entry eagerly; the flat path
+// mmaps the file and validates only the index, so cold start is O(index)
+// instead of O(table). scripts/bench.sh pr8 records the gap in
+// BENCH_PR8.json.
+func BenchmarkColdStart(b *testing.B) {
+	gobPath, flatPath := benchTableFiles(b)
+	net := benchNet(5, 5)
+	for _, c := range []struct{ name, path string }{
+		{"format=gob", gobPath},
+		{"format=flat", flatPath},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tab := lut.New()
+				if err := tab.LoadFile(c.path); err != nil {
+					b.Fatal(err)
+				}
+				if _, ok, err := tab.Query(net); err != nil || !ok {
+					b.Fatalf("ok=%v err=%v", ok, err)
+				}
+				if err := tab.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLUTQueryFlat is BenchmarkLUTQuery on the mmapped flat backend:
+// the symbolic query evaluates dot products directly against the mapped
+// coefficient arrays, so steady-state cost must stay on par with the
+// in-memory builder entries that BENCH_PR2.json tracks.
+func BenchmarkLUTQueryFlat(b *testing.B) {
+	_, flatPath := benchTableFiles(b)
+	table := lut.New()
+	if err := table.LoadFile(flatPath); err != nil {
+		b.Fatal(err)
+	}
+	defer table.Close()
+	for d := 2; d <= 5; d++ {
+		b.Run(fmt.Sprintf("degree=%d", d), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(int64(100 + d)))
+			nets := make([]tree.Net, 16)
+			for i := range nets {
+				nets[i] = netgen.Clustered(rng, d, 100000, 4000)
+				if _, ok, err := table.Query(nets[i]); err != nil || !ok {
+					b.Fatalf("net %d: ok=%v err=%v", i, ok, err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok, err := table.Query(nets[i%len(nets)]); err != nil || !ok {
+					b.Fatalf("ok=%v err=%v", ok, err)
+				}
+			}
+		})
 	}
 }

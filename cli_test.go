@@ -62,14 +62,70 @@ func TestCLILutgenRoundTrip(t *testing.T) {
 		t.Skip("CLI integration test")
 	}
 	dir := t.TempDir()
-	table := filepath.Join(dir, "t.gob")
-	out := runCLI(t, "./cmd/lutgen", "-degrees", "4", "-o", table)
-	if !strings.Contains(out, "degree 4:") {
+	route := func(table string) []Candidate {
+		t.Helper()
+		net := NewNet(Pt(0, 0), Pt(10, 4), Pt(3, 9), Pt(8, 1))
+		cands, err := Route(net, Options{TablePath: table})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := ExactFrontier(net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cands) != len(exact) {
+			t.Fatalf("table-backed route %d candidates, exact %d", len(cands), len(exact))
+		}
+		return cands
+	}
+
+	// Default output is the flat zero-copy format.
+	flat := filepath.Join(dir, "t.plut")
+	out := runCLI(t, "./cmd/lutgen", "-degrees", "4", "-o", flat, "-check")
+	if !strings.Contains(out, "degree 4:") || !strings.Contains(out, "(flat,") {
 		t.Fatalf("lutgen output: %s", out)
 	}
-	// The produced table loads through the public API.
+	route(flat)
+
+	// The legacy gob format still writes and loads.
+	gobTable := filepath.Join(dir, "t.gob")
+	out = runCLI(t, "./cmd/lutgen", "-degrees", "4", "-o", gobTable, "-format", "gob", "-check")
+	if !strings.Contains(out, "(gob,") {
+		t.Fatalf("lutgen gob output: %s", out)
+	}
+	route(gobTable)
+
+	// -convert migrates gob -> flat.
+	converted := filepath.Join(dir, "converted.plut")
+	runCLI(t, "./cmd/lutgen", "-convert", gobTable, "-o", converted, "-check")
+	route(converted)
+}
+
+func TestCLILutgenShardMerge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	dir := t.TempDir()
+	const shards = 2
+	paths := make([]string, shards)
+	for s := 0; s < shards; s++ {
+		paths[s] = filepath.Join(dir, "shard"+string(rune('0'+s))+".plut")
+		out := runCLI(t, "./cmd/lutgen", "-degrees", "4", "-shard",
+			string(rune('0'+s))+"/2", "-o", paths[s], "-check")
+		if !strings.Contains(out, "shard") {
+			t.Fatalf("shard %d output: %s", s, out)
+		}
+	}
+	// Merging a strict subset fails, naming the missing shards.
+	out := runCLIErr(t, "./cmd/lutgen", "-merge", "-o", filepath.Join(dir, "bad.plut"), paths[0])
+	if !strings.Contains(out, "missing shards [1]") {
+		t.Fatalf("partial merge output: %s", out)
+	}
+	// The full merge covers the degree and routes exactly.
+	merged := filepath.Join(dir, "merged.plut")
+	runCLI(t, append([]string{"./cmd/lutgen", "-merge", "-degrees", "4", "-check", "-o", merged}, paths...)...)
 	net := NewNet(Pt(0, 0), Pt(10, 4), Pt(3, 9), Pt(8, 1))
-	cands, err := Route(net, Options{TablePath: table})
+	cands, err := Route(net, Options{TablePath: merged})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +134,7 @@ func TestCLILutgenRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	if len(cands) != len(exact) {
-		t.Fatalf("table-backed route %d candidates, exact %d", len(cands), len(exact))
+		t.Fatalf("merged-table route %d candidates, exact %d", len(cands), len(exact))
 	}
 }
 

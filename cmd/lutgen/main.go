@@ -1,20 +1,34 @@
 // Command lutgen generates PatLabor lookup tables (§V-A) and serialises
 // them for reuse. Pre-generated tables can be handed to the router via
-// patlabor.Options.TablePath or cmd/patlabor's -table flag.
+// patlabor.Options.TablePath or cmd/patlabor's -table flag, which accept
+// both table formats.
 //
 // Usage:
 //
-//	lutgen -degrees 4-7 -o tables.gob [-workers N] [-sample K] [-check]
+//	lutgen -degrees 4-7 -o tables.plut [-workers N] [-sample K] [-check]
+//	lutgen -degrees 7 -shard 3/8 -o shard3.plut      # one shard of degree 7
+//	lutgen -merge -o tables.plut shard*.plut         # merge shard files
+//	lutgen -convert legacy.gob -o tables.plut        # migrate gob -> flat
 //
-// Generating degree 7 takes minutes on one core; degrees 8-9 are feasible
-// but long (the paper reports 4.76 h on 16 cores for the full λ=9 set) —
-// use -sample to time a slice first.
+// The default output is the flat zero-copy format ("PLUT" magic): routers
+// memory-map it and start query-warm in milliseconds, sharing one
+// page-cache copy across processes. -format gob keeps writing the legacy
+// version-tagged gob format, which stays loadable read-only but is
+// deprecated for new tables.
 //
-// Tables are written atomically (temp file + rename) in the version-tagged
-// gob format that stores each topology's precompiled (W, D) coefficient
-// solution alongside it, so routers load without recompiling; files from
-// older lutgen builds remain loadable. -check reloads the written file and
-// verifies its coverage before reporting success.
+// Generating degree 7 takes minutes on one core (the paper reports 4.76 h
+// on 16 cores for the full λ=9 set) — split it with -shard i/N across
+// invocations or machines: the canonical pattern space partitions
+// deterministically (pattern index mod N), each shard file carries its
+// shard bookkeeping, and -merge folds any subset of shard files together,
+// idempotently, marking a degree covered only once every shard is present
+// (-merge errors out listing the missing shards otherwise; -partial
+// downgrades that to a warning so merges can resume later). -resume skips
+// generation when the output file already loads, making shard sweeps
+// restartable with a shell loop.
+//
+// Tables are written atomically (temp file + rename). -check reloads the
+// written file and verifies its coverage before reporting success.
 package main
 
 import (
@@ -29,54 +43,167 @@ import (
 
 func main() {
 	degrees := flag.String("degrees", "4-6", "degree or range to generate, e.g. 5 or 4-7")
-	out := flag.String("o", "tables.gob", "output file")
+	out := flag.String("o", "tables.plut", "output file")
 	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	sample := flag.Int("sample", 0, "generate only the first K patterns per degree (timing probe; table not marked complete)")
 	check := flag.Bool("check", false, "reload the written file and verify its degree coverage")
+	format := flag.String("format", "flat", "output format: flat (zero-copy, default) or gob (legacy)")
+	shard := flag.String("shard", "", "generate one shard i/N of each degree's pattern space, e.g. 3/8")
+	merge := flag.Bool("merge", false, "merge the table files given as arguments into -o instead of generating")
+	partial := flag.Bool("partial", false, "with -merge: allow incompletely sharded degrees (warn instead of erroring)")
+	convert := flag.String("convert", "", "read this table file (either format) and rewrite it as -o in -format")
+	resume := flag.Bool("resume", false, "skip generation when -o already exists and loads cleanly")
 	flag.Parse()
 
-	lo, hi, err := parseRange(*degrees)
+	switch *format {
+	case "flat", "gob":
+	default:
+		fatal(fmt.Errorf("unknown -format %q (want flat or gob)", *format))
+	}
+	if *merge && *convert != "" {
+		fatal(fmt.Errorf("-merge and -convert are mutually exclusive"))
+	}
+
+	switch {
+	case *convert != "":
+		runConvert(*convert, *out, *format)
+	case *merge:
+		runMerge(flag.Args(), *out, *format, *partial)
+	default:
+		runGenerate(*degrees, *out, *format, *shard, *workers, *sample, *resume)
+	}
+	if *check {
+		runCheck(*out, *degrees, *sample > 0, *merge || *convert != "")
+	}
+}
+
+// runGenerate is the classic path plus sharding: build the requested
+// degrees (or one shard of each) and write them out.
+func runGenerate(degrees, out, format, shard string, workers, sample int, resume bool) {
+	lo, hi, err := parseRange(degrees)
 	if err != nil {
 		fatal(err)
 	}
+	shardIdx, shardCount, err := parseShard(shard)
+	if err != nil {
+		fatal(err)
+	}
+	if resume {
+		if probe := lut.New(); probe.LoadFile(out) == nil {
+			fmt.Printf("resume: %s already loads, skipping generation\n", out)
+			return
+		}
+	}
 	t := lut.New()
 	for d := lo; d <= hi; d++ {
-		fmt.Printf("generating degree %d...\n", d)
-		if *sample > 0 {
-			err = t.GenerateSample(d, *workers, *sample)
-		} else {
-			err = t.Generate(d, *workers)
+		switch {
+		case shardCount > 1:
+			fmt.Printf("generating degree %d shard %d/%d...\n", d, shardIdx, shardCount)
+			err = t.GenerateShard(d, workers, shardIdx, shardCount)
+		case sample > 0:
+			fmt.Printf("generating degree %d (sample %d)...\n", d, sample)
+			err = t.GenerateSample(d, workers, sample)
+		default:
+			fmt.Printf("generating degree %d...\n", d)
+			err = t.Generate(d, workers)
 		}
 		if err != nil {
 			fatal(err)
 		}
 	}
+	printStats(t)
+	writeTable(t, out, format)
+}
+
+// runMerge folds shard (or whole) table files into one output table.
+func runMerge(paths []string, out, format string, partial bool) {
+	if len(paths) == 0 {
+		fatal(fmt.Errorf("-merge needs table files as arguments"))
+	}
+	t := lut.New()
+	for _, p := range paths {
+		if err := t.LoadFile(p); err != nil {
+			fatal(fmt.Errorf("merging %s: %w", p, err))
+		}
+		fmt.Printf("merged %s\n", p)
+	}
 	for _, st := range t.Stats() {
-		fmt.Printf("degree %d: %d indices, %.2f avg topologies, %v\n",
+		missing, shardCount, ok := t.MissingShards(st.Degree)
+		if ok && len(missing) > 0 {
+			msg := fmt.Errorf("degree %d incomplete: missing shards %v of %d", st.Degree, missing, shardCount)
+			if !partial {
+				fatal(fmt.Errorf("%v (re-run those shards, or pass -partial to write anyway)", msg))
+			}
+			fmt.Printf("warning: %v\n", msg)
+		}
+	}
+	printStats(t)
+	writeTable(t, out, format)
+}
+
+// runConvert migrates a table file between formats (gob -> flat being the
+// expected direction).
+func runConvert(in, out, format string) {
+	t := lut.New()
+	if err := t.LoadFile(in); err != nil {
+		fatal(fmt.Errorf("convert: reading %s: %w", in, err))
+	}
+	printStats(t)
+	writeTable(t, out, format)
+}
+
+func runCheck(out, degrees string, sampled, skipRange bool) {
+	re := lut.New()
+	if err := re.LoadFile(out); err != nil {
+		fatal(fmt.Errorf("check: reloading %s: %w", out, err))
+	}
+	defer re.Close()
+	if !sampled && !skipRange {
+		lo, hi, err := parseRange(degrees)
+		if err != nil {
+			fatal(err)
+		}
+		for d := lo; d <= hi; d++ {
+			if !re.Covers(d) {
+				if _, _, sharded := re.MissingShards(d); sharded {
+					continue // shard files are legitimately partial
+				}
+				fatal(fmt.Errorf("check: reloaded table does not cover degree %d", d))
+			}
+		}
+	}
+	fmt.Println("check: reload ok")
+}
+
+func printStats(t *lut.Table) {
+	for _, st := range t.Stats() {
+		line := fmt.Sprintf("degree %d: %d indices, %.2f avg topologies, %v",
 			st.Degree, st.NumIndex, st.AvgTopo(), st.GenTime)
+		if st.Pruned > 0 {
+			line += fmt.Sprintf(", %d pruned", st.Pruned)
+		}
+		if missing, shardCount, ok := t.MissingShards(st.Degree); ok && len(missing) > 0 {
+			line += fmt.Sprintf(" [shards %d/%d, missing %v]", shardCount-len(missing), shardCount, missing)
+		}
+		fmt.Println(line)
 	}
-	if err := t.SaveFile(*out); err != nil {
-		fatal(err)
+}
+
+func writeTable(t *lut.Table, out, format string) {
+	var err error
+	if format == "gob" {
+		err = t.SaveFile(out)
+	} else {
+		err = t.SaveFlatFile(out)
 	}
-	info, err := os.Stat(*out)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("wrote %s (%d bytes)\n", *out, info.Size())
-	if *check {
-		re := lut.New()
-		if err := re.LoadFile(*out); err != nil {
-			fatal(fmt.Errorf("check: reloading %s: %w", *out, err))
-		}
-		if *sample == 0 {
-			for d := lo; d <= hi; d++ {
-				if !re.Covers(d) {
-					fatal(fmt.Errorf("check: reloaded table does not cover degree %d", d))
-				}
-			}
-		}
-		fmt.Println("check: reload ok")
+	info, err := os.Stat(out)
+	if err != nil {
+		fatal(err)
 	}
+	fmt.Printf("wrote %s (%s, %d bytes)\n", out, format, info.Size())
 }
 
 func parseRange(s string) (int, int, error) {
@@ -93,6 +220,23 @@ func parseRange(s string) (int, int, error) {
 		return 0, 0, fmt.Errorf("bad degree %q", s)
 	}
 	return d, d, nil
+}
+
+// parseShard parses "i/N"; empty means unsharded (0, 1).
+func parseShard(s string) (int, int, error) {
+	if s == "" {
+		return 0, 1, nil
+	}
+	is, ns, ok := strings.Cut(s, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("bad -shard %q (want i/N)", s)
+	}
+	i, err1 := strconv.Atoi(is)
+	n, err2 := strconv.Atoi(ns)
+	if err1 != nil || err2 != nil || n < 1 || n > lut.MaxShards || i < 0 || i >= n {
+		return 0, 0, fmt.Errorf("bad -shard %q (want i/N, 0 <= i < N <= %d)", s, lut.MaxShards)
+	}
+	return i, n, nil
 }
 
 func fatal(err error) {

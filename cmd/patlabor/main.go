@@ -43,7 +43,7 @@ func main() {
 	method := flag.String("method", "patlabor",
 		"routing method: "+strings.Join(patlabor.Methods(), ", ")+" (or an alias like pd, ks, dw)")
 	lambda := flag.Int("lambda", 0, "small-net threshold λ (default 9; patlabor method only)")
-	table := flag.String("table", "", "pre-generated lookup table file (from lutgen)")
+	table := flag.String("table", "", "pre-generated lookup table file from lutgen (flat or legacy gob format)")
 	verbose := flag.Bool("v", false, "print tree edges")
 	workers := flag.Int("workers", 0, "worker-pool size for batch routing (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 0, "abort the batch after this duration (0 = no limit)")

@@ -68,7 +68,9 @@ type Options struct {
 	Table *lut.Table
 	// TablePath optionally loads a lookup-table file produced by
 	// cmd/lutgen into a private table (built-in eager degrees are merged
-	// underneath). Ignored when Table is set.
+	// underneath). Both formats load: flat zero-copy tables ("PLUT"
+	// magic) attach as a memory-mapped read-only backend, legacy gob
+	// files decode in memory. Ignored when Table is set.
 	TablePath string
 	// Params overrides the trained pin-selection policy weights.
 	Params *policy.Params
@@ -364,6 +366,7 @@ func (e *Engine) Stats() Stats {
 		s.CacheErrors = cur.errs - e.base.errs
 		s.ToposEvaluated = cur.evaluated - e.base.evaluated
 		s.TreesMaterialized = cur.materialized - e.base.materialized
+		s.TableColdStart, s.TableMappedBytes = e.table.LoadInfo()
 	}
 	if e.subCache != nil {
 		h, m := e.subCache.Counters()

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"patlabor/internal/core"
+	"patlabor/internal/lut"
 	"patlabor/internal/netgen"
 	"patlabor/internal/pareto"
 	"patlabor/internal/tree"
@@ -182,6 +183,44 @@ func TestStats(t *testing.T) {
 	s = e.Stats()
 	if s.NetsRouted != 0 || s.CacheHits != 0 || s.CacheMisses != 0 {
 		t.Fatalf("Reset left counters: %+v", s)
+	}
+}
+
+// TestStatsTableLoad checks the table cold-start surface: an engine
+// built from a flat TablePath reports the load time and mapped bytes in
+// Stats and renders them in the summary, and Reset does not zero them
+// (they describe the table, not the batch).
+func TestStatsTableLoad(t *testing.T) {
+	src := lut.New()
+	if err := src.Generate(4, 0); err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/t.plut"
+	if err := src.SaveFlatFile(path); err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(Options{Workers: 1, TablePath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	nets := []tree.Net{netgen.Uniform(rng, 4, 500)}
+	if _, err := e.RouteAll(context.Background(), nets); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Stats()
+	if s.TableColdStart <= 0 {
+		t.Fatalf("TableColdStart = %v", s.TableColdStart)
+	}
+	if runtime.GOOS == "linux" && s.TableMappedBytes <= 0 {
+		t.Fatalf("TableMappedBytes = %d on linux", s.TableMappedBytes)
+	}
+	if !strings.Contains(s.String(), "LUT load") {
+		t.Fatalf("stats rendering lacks LUT load line:\n%s", s.String())
+	}
+	e.Reset()
+	if s = e.Stats(); s.TableColdStart <= 0 {
+		t.Fatal("Reset zeroed the table cold-start info")
 	}
 }
 

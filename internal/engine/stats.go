@@ -106,6 +106,13 @@ type Stats struct {
 	HierSingletons int64
 	HierMaxCluster int64
 	HierMaxLevels  int64
+	// TableColdStart is the wall-clock time the engine's lookup table
+	// spent loading from disk (gob decode or flat open+map), and
+	// TableMappedBytes the bytes it currently memory-maps: together the
+	// cold-start-to-first-query picture of the flat zero-copy format.
+	// Neither rebases on Reset — they describe the table, not the batch.
+	TableColdStart   time.Duration
+	TableMappedBytes int64
 	// Methods breaks NetsRouted/Errors down per routing method, sorted by
 	// method name. A single engine routes with one method, but counters
 	// survive Reset-free engine reuse and merge across batches.
@@ -229,6 +236,13 @@ func (s Stats) String() string {
 	}
 	fmt.Fprintf(&b, "wall / busy   %s / %s (%.2fx effective parallelism)\n",
 		s.Elapsed.Round(time.Microsecond), s.Busy.Round(time.Microsecond), s.Speedup())
+	if s.TableColdStart > 0 || s.TableMappedBytes > 0 {
+		fmt.Fprintf(&b, "LUT load      %s cold start", s.TableColdStart.Round(time.Microsecond))
+		if s.TableMappedBytes > 0 {
+			fmt.Fprintf(&b, ", %d bytes mapped", s.TableMappedBytes)
+		}
+		fmt.Fprintf(&b, "\n")
+	}
 	total := s.CacheHits + s.CacheMisses
 	if total > 0 {
 		fmt.Fprintf(&b, "LUT cache     %d hits / %d misses (%.1f%% hit rate", s.CacheHits, s.CacheMisses,

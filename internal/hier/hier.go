@@ -126,10 +126,11 @@ func resolve(opts Options) (config, error) {
 			table = lut.Default()
 		}
 		cs = MinClusterSize
-		for d := MinClusterSize; d <= lambda; d++ {
-			if table.Covers(d) {
-				cs = d
-			}
+		// One scan of the table's coverage set instead of λ Covers probes
+		// — with flat tables attached the covered set can reach degree 7+,
+		// and every extra covered degree grows the clusters for free.
+		if d := table.MaxCovered(lambda); d > cs {
+			cs = d
 		}
 	}
 	if cs < 2 {

@@ -13,18 +13,22 @@
 // construction, Compact pass, and allocations for every dominated
 // topology.
 //
-// Generation parallelises over patterns; tables serialise with
-// encoding/gob in a version-tagged format (older untagged files still
-// load) so cmd/lutgen can pre-generate higher degrees once and reuse them
-// across runs.
+// Generation parallelises over patterns and applies dominance pruning
+// (param.DominancePrune) so stored class sizes stay bounded as the degree
+// grows; it can be sharded deterministically across invocations
+// (GenerateShard) and the shard files merged later. Tables serialise in
+// two formats: the flat zero-copy format (SaveFlat/flat.go, preferred —
+// millisecond cold start via mmap) and the legacy version-tagged
+// encoding/gob format (Save, kept so existing .lut files load). LoadFile
+// sniffs the format from the leading magic bytes.
 package lut
 
 import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"math/bits"
 	"os"
-	"path/filepath"
 	"runtime"
 	"slices"
 	"sort"
@@ -48,15 +52,22 @@ type entry struct {
 }
 
 // Table maps canonical pattern keys to their potentially Pareto-optimal
-// topologies. A Table may cover several degrees. All methods are safe for
-// concurrent use: lookups take the read lock, merges (Generate/Load) take
-// the write lock, and the query counters are atomics so the hot Query
-// path never serialises on them.
+// topologies. A Table may cover several degrees. Behind the lookup API sit
+// two backends: the in-memory builder backend (the entries map, fed by
+// Generate/Load) and zero or more read-only flat backends (memory-mapped
+// or in-buffer blobs attached by LoadFile/LoadFlat, queried without
+// decoding). The builder backend wins on key collisions, then flat
+// backends in attach order, so lookup order is deterministic.
+//
+// All methods are safe for concurrent use: lookups take the read lock,
+// merges (Generate/Load/LoadFile) take the write lock, and the query
+// counters are atomics so the hot Query path never serialises on them.
 type Table struct {
 	mu      sync.RWMutex
 	entries map[string]entry
 	degrees map[int]bool
 	stats   map[int]DegreeStats
+	flats   []*flatBlob // read-only flat backends, attach order
 
 	hits      atomic.Int64
 	misses    atomic.Int64
@@ -64,16 +75,26 @@ type Table struct {
 
 	evaluated    atomic.Int64 // topologies evaluated symbolically
 	materialized atomic.Int64 // trees instantiated (frontier survivors)
+
+	loadNanos   atomic.Int64 // cumulative wall-clock spent in LoadFile
+	mappedBytes atomic.Int64 // bytes currently memory-mapped
 }
 
 // DegreeStats records the generation statistics reported in Table II of
-// the paper for one degree.
+// the paper for one degree, plus the bookkeeping for sharded generation:
+// a shard file carries the shard layout it was generated under and a
+// bitmap of which shards its stats already cover, so merging shard files
+// is idempotent and the merged table knows when a degree became complete.
 type DegreeStats struct {
 	Degree    int
-	NumIndex  int           // number of canonical (r, P) classes
-	TotalTopo int           // total stored topologies
-	GenTime   time.Duration // wall-clock generation time
+	NumIndex  int           // number of canonical (r, P) classes generated
+	TotalTopo int           // total stored topologies (after pruning)
+	GenTime   time.Duration // wall-clock generation time (summed over shards)
 	SampledOf int           // when only a sample of classes was generated: total classes
+	Pruned    int           // topologies removed by generation-time dominance pruning
+
+	ShardCount int    // shard layout this degree was generated under (0: unsharded)
+	ShardsSeen uint64 // bitmap of shards whose stats are merged in
 }
 
 // AvgTopo returns the average number of stored topologies per index.
@@ -102,6 +123,30 @@ func (t *Table) Covers(degree int) bool {
 	return t.degrees[degree]
 }
 
+// MaxCovered returns the largest fully covered degree that is <= limit,
+// or 0 when no degree in range is covered. Callers that size work to the
+// table (internal/hier's adaptive cluster sizing) use this instead of
+// probing Covers degree by degree.
+func (t *Table) MaxCovered(limit int) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	best := 0
+	for d, ok := range t.degrees {
+		if ok && d <= limit && d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// LoadInfo reports the cumulative wall-clock time spent loading tables
+// from disk (gob decode or flat open) and the number of bytes currently
+// memory-mapped by flat backends. Cold-start reporting only; routing
+// results never depend on it.
+func (t *Table) LoadInfo() (loadTime time.Duration, mappedBytes int64) {
+	return time.Duration(t.loadNanos.Load()), t.mappedBytes.Load()
+}
+
 // Stats returns the generation statistics per degree, sorted by degree.
 func (t *Table) Stats() []DegreeStats {
 	t.mu.RLock()
@@ -117,9 +162,10 @@ func (t *Table) Stats() []DegreeStats {
 // Generate builds the table for every canonical pattern of the given
 // degree using the given number of parallel workers (<=0 means GOMAXPROCS)
 // and merges it into t. Degrees 2 and 3 are trivial and fast; degree 7 is
-// the practical eager limit on one core (minutes).
+// the practical eager limit on one core (minutes) — use GenerateShard to
+// split it across invocations.
 func (t *Table) Generate(degree, workers int) error {
-	return t.generate(degree, workers, 0)
+	return t.generate(degree, workers, 0, 0, 1)
 }
 
 // GenerateSample builds table entries for only the first `sample`
@@ -127,10 +173,31 @@ func (t *Table) Generate(degree, workers int) error {
 // The degree is NOT marked as covered; queries fall back. Used by the
 // Table II experiment to measure per-pattern cost at high degrees.
 func (t *Table) GenerateSample(degree, workers, sample int) error {
-	return t.generate(degree, workers, sample)
+	return t.generate(degree, workers, sample, 0, 1)
 }
 
-func (t *Table) generate(degree, workers, sample int) error {
+// MaxShards bounds the shard count of sharded generation: ShardsSeen
+// tracks merged shards in a uint64 bitmap.
+const MaxShards = 64
+
+// GenerateShard builds the table entries for one shard of the degree's
+// canonical pattern space: pattern i (in deterministic enumeration order)
+// belongs to shard i % shardCount. The strided partition balances cost —
+// enumeration order correlates with pattern difficulty, so contiguous
+// ranges would give the last shard the hardest patterns. The degree is
+// marked covered only once all shards are merged into one table (the
+// shard bookkeeping travels in DegreeStats through both disk formats).
+func (t *Table) GenerateShard(degree, workers, shard, shardCount int) error {
+	if shardCount < 1 || shardCount > MaxShards {
+		return fmt.Errorf("lut: shard count %d out of range [1,%d]", shardCount, MaxShards)
+	}
+	if shard < 0 || shard >= shardCount {
+		return fmt.Errorf("lut: shard %d out of range [0,%d)", shard, shardCount)
+	}
+	return t.generate(degree, workers, 0, shard, shardCount)
+}
+
+func (t *Table) generate(degree, workers, sample, shard, shardCount int) error {
 	if degree < 2 {
 		return fmt.Errorf("lut: cannot generate degree %d", degree)
 	}
@@ -138,15 +205,24 @@ func (t *Table) generate(degree, workers, sample int) error {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	start := time.Now() //patlint:ignore nondet GenTime is a reported statistic; table contents stay deterministic
-	pats := hanan.CanonicalPatterns(degree)
-	total := len(pats)
-	if sample > 0 && sample < len(pats) {
-		pats = pats[:sample]
+	all := hanan.CanonicalPatterns(degree)
+	total := len(all)
+	var pats []hanan.Pattern
+	switch {
+	case shardCount > 1:
+		for i := shard; i < len(all); i += shardCount {
+			pats = append(pats, all[i])
+		}
+	case sample > 0 && sample < len(all):
+		pats = all[:sample]
+	default:
+		pats = all
 	}
 	type result struct {
-		key string
-		ent entry
-		err error
+		key    string
+		ent    entry
+		pruned int
+		err    error
 	}
 	jobs := make(chan hanan.Pattern)
 	results := make(chan result)
@@ -158,10 +234,16 @@ func (t *Table) generate(degree, workers, sample int) error {
 			for p := range jobs {
 				topos, err := param.EnumeratePattern(p)
 				ent := entry{topos: topos}
+				pruned := 0
 				if err == nil {
 					ent.sols = param.Solutions(topos, p.N)
+					// Generation-time dominance pruning (Lemma-1 spirit):
+					// drop topologies made redundant by an earlier stored
+					// one. Queries on the pruned class stay byte-identical
+					// — see param.DominancePrune.
+					ent.topos, ent.sols, pruned = param.DominancePrune(ent.topos, ent.sols)
 				}
-				results <- result{key: p.Key(), ent: ent, err: err}
+				results <- result{key: p.Key(), ent: ent, pruned: pruned, err: err}
 			}
 		}()
 	}
@@ -174,13 +256,14 @@ func (t *Table) generate(degree, workers, sample int) error {
 		close(results)
 	}()
 	entries := make(map[string]entry, len(pats))
-	topoCount := 0
+	topoCount, prunedCount := 0, 0
 	for r := range results {
 		if r.err != nil {
 			return r.err
 		}
 		entries[r.key] = r.ent
 		topoCount += len(r.ent.topos)
+		prunedCount += r.pruned
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -191,15 +274,80 @@ func (t *Table) generate(degree, workers, sample int) error {
 		Degree:    degree,
 		NumIndex:  len(pats),
 		TotalTopo: topoCount,
+		Pruned:    prunedCount,
 		GenTime:   time.Since(start), //patlint:ignore nondet GenTime is a reported statistic; table contents stay deterministic
 	}
-	if sample > 0 && sample < total {
+	switch {
+	case shardCount > 1:
+		st.ShardCount = shardCount
+		st.ShardsSeen = 1 << shard
+	case sample > 0 && sample < total:
 		st.SampledOf = total
-	} else {
+	default:
 		t.degrees[degree] = true
 	}
-	t.stats[degree] = st
+	t.mergeStatsLocked(st)
 	return nil
+}
+
+// mergeStatsLocked folds one degree's incoming statistics into the table;
+// the write lock must be held. Shard stats under the same layout with
+// disjoint bitmaps accumulate (and flip the degree to covered when the
+// bitmap completes); overlapping shard stats are skipped, which makes
+// re-merging the same shard file idempotent; anything else replaces the
+// stored row, matching the pre-shard behavior.
+func (t *Table) mergeStatsLocked(in DegreeStats) {
+	d := in.Degree
+	cur, ok := t.stats[d]
+	if ok && cur.ShardCount > 0 && in.ShardCount == cur.ShardCount && in.ShardsSeen != 0 {
+		if cur.ShardsSeen&in.ShardsSeen != 0 {
+			return // shard(s) already merged: resuming a partial merge
+		}
+		cur.NumIndex += in.NumIndex
+		cur.TotalTopo += in.TotalTopo
+		cur.Pruned += in.Pruned
+		cur.GenTime += in.GenTime
+		cur.ShardsSeen |= in.ShardsSeen
+		if bits.OnesCount64(cur.ShardsSeen) == cur.ShardCount {
+			cur.ShardCount = 0
+			cur.ShardsSeen = 0
+			t.degrees[d] = true
+		}
+		t.stats[d] = cur
+		return
+	}
+	if ok && t.degrees[d] && in.ShardCount > 0 {
+		return // degree already complete; stray shard stats add nothing
+	}
+	if in.ShardCount > 0 && bits.OnesCount64(in.ShardsSeen) == in.ShardCount {
+		// A pre-merged file that still carries its shard layout.
+		in.ShardCount = 0
+		in.ShardsSeen = 0
+		t.degrees[d] = true
+	}
+	t.stats[d] = in
+}
+
+// MissingShards returns which shards of the degree's generation are not
+// yet merged into t, given how the degree was sharded. A nil result with
+// ok=true means the degree is complete; ok=false means t has no sharded
+// stats for the degree at all.
+func (t *Table) MissingShards(degree int) (missing []int, shardCount int, ok bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.degrees[degree] {
+		return nil, 0, true
+	}
+	s, have := t.stats[degree]
+	if !have || s.ShardCount == 0 {
+		return nil, 0, false
+	}
+	for i := 0; i < s.ShardCount; i++ {
+		if s.ShardsSeen&(1<<i) == 0 {
+			missing = append(missing, i)
+		}
+	}
+	return missing, s.ShardCount, true
 }
 
 // evalItem pairs one topology's concrete objective vector with its index
@@ -249,8 +397,17 @@ func (t *Table) Query(net tree.Net) ([]pareto.Item[*tree.Tree], bool, error) {
 	sc.key = key
 	t.mu.RLock()
 	e, ok := t.entries[string(key)]
+	flats := t.flats
 	t.mu.RUnlock()
 	if !ok {
+		// Builder-backend miss: search the read-only flat backends in
+		// attach order. The flat path evaluates coefficient rows directly
+		// against the mapping — no decode, no entry allocation.
+		for _, b := range flats {
+			if i, found := b.find(key); found {
+				return t.queryFlat(b, i, r, tf, sc)
+			}
+		}
 		t.misses.Add(1)
 		return nil, false, nil
 	}
@@ -275,6 +432,65 @@ func (t *Table) Query(net tree.Net) ([]pareto.Item[*tree.Tree], bool, error) {
 		}
 		tr.Compact()
 		items[i] = pareto.Item[*tree.Tree]{Sol: w.sol, Val: tr}
+	}
+	t.materialized.Add(int64(len(items)))
+	t.hits.Add(1)
+	return items, true, nil
+}
+
+// queryFlat answers a Query from entry i of a flat backend. The symbolic
+// evaluation walks the mapped coefficient rows through aligned []int16
+// views — the arithmetic, filtering, tie-break, and counters are the same
+// as the builder path, so results are byte-identical across backends.
+// Corrupt payloads (possible only with a damaged file) return an error
+// and count as query errors, like instantiation failures do.
+func (t *Table) queryFlat(b *flatBlob, i int, r hanan.Ranks, tf hanan.Transform, sc *scratch) ([]pareto.Item[*tree.Tree], bool, error) {
+	fe, err := b.entryAt(i)
+	if err != nil {
+		t.queryErrs.Add(1)
+		return nil, false, err
+	}
+	hh, vv := tf.ApplyLengthsInto(r.H, r.V, sc.h, sc.v)
+	sc.h, sc.v = hh, vv
+	evals := sc.evals[:0]
+	dOff := 0
+	for s := 0; s < fe.numSols; s++ {
+		rows := int(fe.rowCounts[s])
+		if dOff+rows > fe.totalRows {
+			t.queryErrs.Add(1)
+			return nil, false, fmt.Errorf("lut: flat entry key %q: row counts exceed declared total", fe.key)
+		}
+		// Mirror of param.Solution.Eval over the mapped rows: delay is the
+		// max over the solution's delay rows, starting at zero.
+		var d int64
+		for rr := 0; rr < rows; rr++ {
+			if x := fe.dRow(dOff + rr).Eval(hh, vv); x > d {
+				d = x
+			}
+		}
+		dOff += rows
+		evals = append(evals, evalItem{
+			sol: pareto.Sol{W: fe.wRow(s).Eval(hh, vv), D: d},
+			idx: int32(s),
+		})
+	}
+	sc.evals = evals
+	t.evaluated.Add(int64(len(evals)))
+	winners := filterEvals(evals)
+	items := make([]pareto.Item[*tree.Tree], len(winners))
+	for j, w := range winners {
+		topo, err := fe.decodeTopo(int(w.idx))
+		if err != nil {
+			t.queryErrs.Add(1)
+			return nil, false, err
+		}
+		tr, err := topo.Instantiate(r, tf)
+		if err != nil {
+			t.queryErrs.Add(1)
+			return nil, false, fmt.Errorf("lut: instantiating pattern key %q: %w", sc.key, err)
+		}
+		tr.Compact()
+		items[j] = pareto.Item[*tree.Tree]{Sol: w.sol, Val: tr}
 	}
 	t.materialized.Add(int64(len(items)))
 	t.hits.Add(1)
@@ -357,21 +573,21 @@ type diskTable struct {
 	Stats   []DegreeStats
 }
 
-// Save serialises the table, including the precompiled solutions so Load
-// skips recompilation.
+// Save serialises the table in the legacy gob format, including the
+// precompiled solutions so Load skips recompilation. Entries come from
+// every backend (snapshotEntries), so converting a flat-backed table back
+// to gob keeps all content. New tables should prefer SaveFlat; Save stays
+// for interoperability with existing .lut files.
 func (t *Table) Save(w io.Writer) error {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	keys, entries, err := t.snapshotEntries()
+	if err != nil {
+		return err
+	}
 	dt := diskTable{Version: diskFormatVersion}
-	keys := make([]string, 0, len(t.entries))
-	for k := range t.entries {
-		keys = append(keys, k)
+	for i, k := range keys {
+		dt.Entries = append(dt.Entries, diskEntry{Key: k, Topos: entries[i].topos, Sols: entries[i].sols})
 	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		e := t.entries[k]
-		dt.Entries = append(dt.Entries, diskEntry{Key: k, Topos: e.topos, Sols: e.sols})
-	}
+	t.mu.RLock()
 	for d := range t.degrees {
 		dt.Degrees = append(dt.Degrees, d)
 	}
@@ -379,6 +595,7 @@ func (t *Table) Save(w io.Writer) error {
 	for _, s := range t.stats {
 		dt.Stats = append(dt.Stats, s)
 	}
+	t.mu.RUnlock()
 	slices.SortFunc(dt.Stats, func(a, b DegreeStats) int { return a.Degree - b.Degree })
 	return gob.NewEncoder(w).Encode(dt)
 }
@@ -408,56 +625,125 @@ func (t *Table) Load(r io.Reader) error {
 	for _, e := range dt.Entries {
 		t.entries[e.Key] = entry{topos: e.Topos, sols: e.Sols}
 	}
+	for _, s := range dt.Stats {
+		t.mergeStatsLocked(s)
+	}
 	for _, d := range dt.Degrees {
 		t.degrees[d] = true
 	}
-	for _, s := range dt.Stats {
-		t.stats[s.Degree] = s
-	}
 	return nil
 }
 
-// SaveFile writes the table to path atomically: the bytes go to a
-// temporary file in the target directory which is renamed into place only
-// after a successful write, so an interrupted run never leaves a
+// SaveFile writes the gob-format table to path atomically: the bytes go
+// to a temporary file in the target directory which is renamed into place
+// only after a successful write, so an interrupted run never leaves a
 // truncated table behind.
 func (t *Table) SaveFile(path string) error {
-	dir := filepath.Dir(path)
-	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
-	if err != nil {
-		return err
-	}
-	tmp := f.Name()
-	defer func() {
-		if f != nil {
-			f.Close()
-		}
-		if tmp != "" {
-			os.Remove(tmp)
-		}
-	}()
-	if err := t.Save(f); err != nil {
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	f = nil
-	if err := os.Rename(tmp, path); err != nil {
-		return err
-	}
-	tmp = ""
-	return nil
+	return atomicWrite(path, t.Save)
 }
 
-// LoadFile merges the table stored at path into t.
+// LoadFile merges the table stored at path into t, sniffing the format
+// from the leading bytes: flat tables (the "PLUT" magic) attach as a
+// zero-copy read-only backend — memory-mapped where the platform supports
+// it — while anything else decodes as the legacy gob format into the
+// in-memory backend. Wall-clock cost is accumulated into LoadInfo.
 func (t *Table) LoadFile(path string) error {
+	start := time.Now() //patlint:ignore nondet cold-start timing is a reported statistic; table contents stay deterministic
+	defer func() {
+		t.loadNanos.Add(time.Since(start).Nanoseconds()) //patlint:ignore nondet cold-start timing is a reported statistic; table contents stay deterministic
+	}()
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
+	var magic [4]byte
+	if n, _ := io.ReadFull(f, magic[:]); n == 4 && magic == flatMagic {
+		return t.loadFlatFile(f, path)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
 	return t.Load(f)
+}
+
+// LoadFlat parses data as a flat-format table and attaches it to t as a
+// read-only backend. The table retains (and reads through) data, which
+// must not be modified afterwards. Corrupt input returns an error and
+// leaves t unchanged.
+func (t *Table) LoadFlat(data []byte) error {
+	b, err := openFlatBlob(data)
+	if err != nil {
+		return err
+	}
+	t.attachFlat(b)
+	return nil
+}
+
+// loadFlatFile maps (or reads) an opened flat file and attaches it.
+func (t *Table) loadFlatFile(f *os.File, path string) error {
+	fi, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	data, mapped, err := mapFile(f, fi.Size())
+	if err != nil {
+		return fmt.Errorf("lut: %s: %w", path, err)
+	}
+	b, err := openFlatBlob(data)
+	if err != nil {
+		if mapped {
+			unmapFile(data)
+		}
+		return fmt.Errorf("lut: %s: %w", path, err)
+	}
+	// openFlatBlob realigns by copying only when the buffer is misaligned;
+	// mappings are page-aligned, so b.data aliasing data here means the
+	// mapping itself is the backend and must be tracked for Close.
+	if mapped && &b.data[0] == &data[0] {
+		b.mapped = true
+		t.mappedBytes.Add(int64(len(data)))
+	} else if mapped {
+		unmapFile(data)
+	}
+	t.attachFlat(b)
+	return nil
+}
+
+// attachFlat publishes an opened blob as a query backend and merges its
+// degree coverage and statistics.
+func (t *Table) attachFlat(b *flatBlob) {
+	stats, covered := parseFlatDegrees(b.deg)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.flats = append(t.flats, b)
+	for i := range stats {
+		t.mergeStatsLocked(stats[i])
+		if covered[i] {
+			t.degrees[stats[i].Degree] = true
+		}
+	}
+}
+
+// Close detaches and unmaps every flat backend. The table must not be
+// queried concurrently with or after Close; in-memory content generated
+// or gob-loaded into t survives.
+func (t *Table) Close() error {
+	t.mu.Lock()
+	flats := t.flats
+	t.flats = nil
+	t.mu.Unlock()
+	var first error
+	for _, b := range flats {
+		if !b.mapped {
+			continue
+		}
+		t.mappedBytes.Add(-int64(len(b.data)))
+		if err := unmapFile(b.data); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 var (

@@ -1,0 +1,45 @@
+//go:build linux
+
+package lut
+
+import (
+	"io"
+	"os"
+	"syscall"
+)
+
+// mapFile makes the contents of f available as one byte slice, preferring
+// a read-only shared memory mapping: the table starts query-warm without
+// decoding or copying, pages fault in on demand, and every process
+// mapping the same file shares a single page-cache copy. The returned
+// bool reports whether the slice is a mapping (and must go through
+// unmapFile) or a plain buffer. Empty files and mmap failures (exotic
+// filesystems) fall back to reading into memory.
+func mapFile(f *os.File, size int64) ([]byte, bool, error) {
+	if size > 0 && size <= int64(int(^uint(0)>>1)) {
+		data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+		if err == nil {
+			return data, true, nil
+		}
+	}
+	return readFile(f, size)
+}
+
+// unmapFile releases a mapping returned by mapFile.
+func unmapFile(data []byte) error {
+	return syscall.Munmap(data)
+}
+
+// readFile is the portable fallback: read the remaining file contents
+// into an ordinary buffer. The file position may be anywhere (LoadFile
+// has already sniffed the magic), so read from offset 0 explicitly.
+func readFile(f *os.File, size int64) ([]byte, bool, error) {
+	if size < 0 || size > int64(int(^uint(0)>>1)) {
+		return nil, false, io.ErrUnexpectedEOF
+	}
+	data := make([]byte, size)
+	if _, err := f.ReadAt(data, 0); err != nil && err != io.EOF {
+		return nil, false, err
+	}
+	return data, false, nil
+}

@@ -1,0 +1,50 @@
+package param
+
+// DominancePrune removes topologies whose parameterised solution is
+// rendered redundant by an EARLIER stored topology: topology j is dropped
+// when some i < j has sols[i].Prunes(sols[j]). The restriction to earlier
+// pruners is what makes the filter safe for byte-identical table queries,
+// not just solution-identical ones: if i < j and solution i dominates j
+// for every nonnegative gap assignment, then on any concrete instance
+// either j's point is strictly dominated (never materialized) or it ties
+// i's point exactly — and the stable frontier tie-break already picks the
+// earlier index i. Removing j therefore never changes which tree a query
+// returns. Pruning an earlier topology by a later one would NOT be safe:
+// on tie instances the earlier index wins, so removing it would hand the
+// point to a different tree.
+//
+// Lookup-table generation applies this as a final pass over each pattern's
+// enumerated class (the paper's Lemma-1 filter in the spirit of Maßberg's
+// given-topology DP): the symbolic DP already prunes during its merge and
+// extend steps, but the stored solutions are recompiled from the
+// reconstructed, monotone-spliced topologies, whose delay-row form can be
+// tighter than the arena form the DP compared — so a final pass catches
+// redundancies the in-flight filter could not see, and keeps per-pattern
+// topology counts bounded as the degree grows.
+//
+// Both input slices must be index-aligned (sols[i] corresponds to
+// topos[i]); they are filtered in place. The pruned count is returned.
+func DominancePrune(topos []Topology, sols []Solution) ([]Topology, []Solution, int) {
+	if len(topos) != len(sols) {
+		// Misaligned inputs: refuse to prune rather than guess.
+		return topos, sols, 0
+	}
+	k := 0
+	for j := range sols {
+		dominated := false
+		for i := 0; i < k; i++ {
+			if sols[i].Prunes(sols[j]) {
+				dominated = true
+				break
+			}
+		}
+		if dominated {
+			continue
+		}
+		topos[k] = topos[j]
+		sols[k] = sols[j]
+		k++
+	}
+	pruned := len(sols) - k
+	return topos[:k], sols[:k], pruned
+}

@@ -1,0 +1,144 @@
+package param
+
+import (
+	"math/rand"
+	"testing"
+
+	"patlabor/internal/hanan"
+	"patlabor/internal/pareto"
+)
+
+// TestDominancePruneKeepsQueryResults enumerates real patterns, prunes
+// their classes, and checks on many concrete gap assignments that the
+// pruned class yields the same Pareto frontier with the same stable
+// winner index (after translating through the survivor mapping) as the
+// full class — the exact property table queries rely on.
+func TestDominancePruneKeepsQueryResults(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for _, n := range []int{3, 4, 5} {
+		pats := hanan.CanonicalPatterns(n)
+		if len(pats) > 12 {
+			pats = pats[:12]
+		}
+		for _, p := range pats {
+			topos, err := EnumeratePattern(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sols := Solutions(topos, n)
+			keptTopos, keptSols, pruned := DominancePrune(
+				append([]Topology(nil), topos...), append([]Solution(nil), sols...))
+			if len(keptTopos) != len(keptSols) || len(keptTopos)+pruned != len(topos) {
+				t.Fatalf("pattern %v: prune bookkeeping %d+%d != %d", p, len(keptTopos), pruned, len(topos))
+			}
+			// Map survivor index -> original index (prefix order preserved).
+			orig := make([]int, 0, len(keptSols))
+			next := 0
+			for _, ks := range keptSols {
+				for next < len(sols) && !sameSolution(sols[next], ks) {
+					next++
+				}
+				if next == len(sols) {
+					t.Fatalf("pattern %v: survivor not found in original order", p)
+				}
+				orig = append(orig, next)
+				next++
+			}
+			dim := 2 * (n - 1)
+			for trial := 0; trial < 40; trial++ {
+				h := make([]int64, n-1)
+				v := make([]int64, n-1)
+				for k := 0; k < n-1; k++ {
+					h[k] = int64(rng.Intn(5)) // zeros included: tie-heavy instances
+					v[k] = int64(rng.Intn(5))
+				}
+				_ = dim
+				fullWin := frontierWinners(sols, h, v)
+				prunedWin := frontierWinners(keptSols, h, v)
+				if len(fullWin) != len(prunedWin) {
+					t.Fatalf("pattern %v trial %d: %d winners vs %d after prune", p, trial, len(fullWin), len(prunedWin))
+				}
+				for i := range fullWin {
+					if orig[prunedWin[i]] != fullWin[i] {
+						t.Fatalf("pattern %v trial %d point %d: winner %d, pruned table picks original %d",
+							p, trial, i, fullWin[i], orig[prunedWin[i]])
+					}
+				}
+			}
+		}
+	}
+}
+
+func sameSolution(a, b Solution) bool {
+	if !a.W.Eq(b.W) || len(a.D) != len(b.D) {
+		return false
+	}
+	for i := range a.D {
+		if !a.D[i].Eq(b.D[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// frontierWinners mirrors the lookup table's stable frontier filter: sort
+// evaluated points by (W, D, index), keep strictly-improving delays.
+func frontierWinners(sols []Solution, h, v []int64) []int {
+	type ev struct {
+		sol pareto.Sol
+		idx int
+	}
+	evals := make([]ev, len(sols))
+	for i := range sols {
+		evals[i] = ev{sol: sols[i].Eval(h, v), idx: i}
+	}
+	for i := 1; i < len(evals); i++ {
+		for j := i; j > 0; j-- {
+			a, b := evals[j-1], evals[j]
+			if a.sol.W < b.sol.W || (a.sol.W == b.sol.W && (a.sol.D < b.sol.D ||
+				(a.sol.D == b.sol.D && a.idx < b.idx))) {
+				break
+			}
+			evals[j-1], evals[j] = evals[j], evals[j-1]
+		}
+	}
+	var out []int
+	bestD := int64(1<<63 - 1)
+	for _, e := range evals {
+		if e.sol.D < bestD {
+			out = append(out, e.idx)
+			bestD = e.sol.D
+		}
+	}
+	return out
+}
+
+// TestDominancePruneOnlyEarlierPrunes builds a class where a LATER
+// solution dominates an EARLIER one and checks the earlier survivor is
+// kept: pruning it would flip the stable tie-break on degenerate
+// instances.
+func TestDominancePruneOnlyEarlierPrunes(t *testing.T) {
+	mk := func(w Vec, rows ...Vec) Solution { return Solution{W: w, D: rows} }
+	sols := []Solution{
+		mk(Vec{2, 0}, Vec{2, 0}), // index 0: later sol dominates this...
+		mk(Vec{1, 0}, Vec{1, 0}), // index 1: ...but must not prune it
+		mk(Vec{3, 0}, Vec{3, 0}), // index 2: pruned by both earlier sols
+	}
+	topos := make([]Topology, len(sols))
+	_, kept, pruned := DominancePrune(topos, sols)
+	if pruned != 1 || len(kept) != 2 {
+		t.Fatalf("pruned %d, kept %d; want 1 pruned (only the later dominated entry)", pruned, len(kept))
+	}
+	if !kept[0].W.Eq(Vec{2, 0}) || !kept[1].W.Eq(Vec{1, 0}) {
+		t.Fatalf("survivors reordered or wrong: %v", kept)
+	}
+}
+
+func TestDominancePruneMisaligned(t *testing.T) {
+	topos := make([]Topology, 2)
+	sols := make([]Solution, 3)
+	_, _, pruned := DominancePrune(topos, sols)
+	if pruned != 0 {
+		t.Fatalf("misaligned inputs pruned %d entries", pruned)
+	}
+}

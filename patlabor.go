@@ -77,6 +77,11 @@ type Options struct {
 	Iterations int
 	// TablePath optionally points at a lookup-table file produced by
 	// cmd/lutgen; its degrees are merged over the built-in eager tables.
+	// Both formats load: the flat zero-copy format ("PLUT" magic) attaches
+	// as a memory-mapped read-only backend — queries start in milliseconds
+	// and every process mapping the same file shares one page-cache copy —
+	// while legacy gob files decode in memory (read-only support; new
+	// tables should use the flat format, see `lutgen -convert`).
 	TablePath string
 	// PolicyParams overrides the trained pin-selection policy weights.
 	PolicyParams *PolicyParams

@@ -6,7 +6,7 @@
 # when absolute numbers matter; the allocs/op column is machine
 # independent.
 #
-# Usage: scripts/bench.sh [pr2|pr4|pr5|pr6|pr7] [output.json]
+# Usage: scripts/bench.sh [pr2|pr4|pr5|pr6|pr7|pr8] [output.json]
 #
 #   pr2 (default)  BenchmarkLUTQuery — the symbolic-first lookup-table
 #                  query fast path (baseline: materialize-every-topology
@@ -27,13 +27,21 @@
 #                  search at the crossover degrees 64/256, frozen at the
 #                  PR 7 merge point; degrees 1024/4096 have no flat rows —
 #                  the flat search takes minutes there, which is the point).
+#   pr8            BenchmarkColdStart + BenchmarkLUTQueryFlat — the flat
+#                  zero-copy table format (baseline: gob decode cold start
+#                  and the in-memory builder query path). The JSON also
+#                  carries a frozen lut_scale_out block: degree-6/7 table
+#                  sizes, sharded generation time, big-table cold start,
+#                  and the LUT-hit-rate lift from degree-7 coverage.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SUITE="${1:-pr2}"
 BASEFILE="$(mktemp)"
+EXTRAFILE="$(mktemp)"
 TMP="$(mktemp)"
-trap 'rm -f "$TMP" "$BASEFILE"' EXIT
+trap 'rm -f "$TMP" "$BASEFILE" "$EXTRAFILE"' EXIT
+: > "$EXTRAFILE"
 
 case "$SUITE" in
   pr2)
@@ -99,8 +107,30 @@ BASE
     "BenchmarkHugeNet/degree=256/mode=flat": {"ns_op": 284449704, "b_op": 41845886, "allocs_op": 154542}
 EOF
     ;;
+  pr8)
+    PATTERN='BenchmarkColdStart|BenchmarkLUTQueryFlat'
+    OUT="${2:-BENCH_PR8.json}"
+    BASELINE_KEY="baseline_gob"
+    cat > "$BASEFILE" <<'EOF'
+    "note": "gob decode cold start (LoadFile + first query + Close on the degrees 2-5 table) and the in-memory builder query path, measured at the PR 8 merge point (Intel Xeon @ 2.10GHz); the format=gob ColdStart rows below re-measure the same path on the current tree",
+    "BenchmarkColdStart/format=gob": {"ns_op": 1077298, "b_op": 515523, "allocs_op": 11905},
+    "BenchmarkLUTQuery/degree=2": {"ns_op": 1466, "b_op": 584, "allocs_op": 27},
+    "BenchmarkLUTQuery/degree=3": {"ns_op": 1972, "b_op": 946, "allocs_op": 33},
+    "BenchmarkLUTQuery/degree=4": {"ns_op": 3041, "b_op": 1458, "allocs_op": 39},
+    "BenchmarkLUTQuery/degree=5": {"ns_op": 4032, "b_op": 1904, "allocs_op": 47}
+EOF
+    cat > "$EXTRAFILE" <<'EOF'
+  "lut_scale_out": {
+    "note": "frozen at the PR 8 merge point (Intel Xeon @ 2.10GHz, 1 core): lutgen -degrees 2-6 direct, degree 7 via -shard i/8 + -merge; cold start read from the CLI's 'LUT load' stats line on the merged degrees 2-7 table; hit rate from routing a 1600-net ICCAD-mix suite (cmd/netgen -designs 2 -nets 800) with -stats",
+    "table_2_6_direct": {"degree6_indices": 579, "degree6_avg_topologies": 10.60, "degree6_gen_seconds": 3.7, "flat_bytes": 1128168},
+    "degree7_sharded": {"shards": 8, "indices": 4549, "avg_topologies": 32.31, "gen_seconds_total": 282.1, "merged_2_7_flat_bytes": 34796936, "degree7_bytes_per_pattern": 7401},
+    "coldstart_degrees_2_7": {"gob_ms": 1010.6, "flat_mmap_ms": 0.093, "speedup": 10867},
+    "hit_rate_lift_1600_nets": {"table_2_6_pct": 45.4, "table_2_7_pct": 50.2, "lift_points": 4.8}
+  },
+EOF
+    ;;
   *)
-    echo "unknown suite: $SUITE (want pr2, pr4, pr5, pr6 or pr7)" >&2
+    echo "unknown suite: $SUITE (want pr2, pr4, pr5, pr6, pr7 or pr8)" >&2
     exit 2
     ;;
 esac
@@ -112,7 +142,7 @@ go test -run '^$' -bench "$PATTERN" -benchmem ${BENCHTIME:+-benchtime "$BENCHTIM
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
     -v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
     -v pattern="$PATTERN${BENCHTIME:+ -benchtime $BENCHTIME}" \
-    -v basekey="$BASELINE_KEY" -v basefile="$BASEFILE" '
+    -v basekey="$BASELINE_KEY" -v basefile="$BASEFILE" -v extrafile="$EXTRAFILE" '
   /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
@@ -127,6 +157,7 @@ awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
     printf "  \"%s\": {\n", basekey
     while ((getline line < basefile) > 0) print line
     printf "  },\n"
+    while ((getline line < extrafile) > 0) print line
     printf "  \"measured\": {\n"
     for (i = 0; i < n; i++) {
       name = order[i]
