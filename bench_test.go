@@ -222,6 +222,51 @@ func BenchmarkRouteAll(b *testing.B) {
 	}
 }
 
+// BenchmarkScaling is the scalability harness: one fixed mixed batch
+// swept over worker-pool widths × cache modes, the grid scripts/bench.sh
+// pr9 freezes into BENCH_PR9.json. cache=on shares one sub-frontier memo
+// and the batch dedup across workers (the contended configuration the
+// sharded SubCache exists for); cache=off routes every net from scratch
+// (the embarrassingly parallel upper bound — any scaling gap between the
+// two modes is cache-coordination cost, not algorithm). Frontiers are
+// byte-identical across every cell of the grid, so cells differ only in
+// wall clock. On a single-core host the workers>1 rows measure pure
+// coordination overhead over workers=1 — the speedup-vs-workers table
+// needs a multi-core host (`go test -bench Scaling` there; see the
+// EXPERIMENTS.md lock-contention entry).
+func BenchmarkScaling(b *testing.B) {
+	rng := rand.New(rand.NewSource(2026))
+	nets := make([]Net, 48)
+	for i := range nets {
+		deg := 4 + rng.Intn(6) // 4..9: exact small-net path
+		if i%4 == 0 {
+			deg = 14 + rng.Intn(12) // local-search path
+		}
+		nets[i] = netgen.Clustered(rng, deg, 100000, 4000)
+	}
+	// Warm the shared lookup table so no cell pays the one-time build.
+	if _, err := RouteAll(nets[:1], Options{}, 1); err != nil {
+		b.Fatal(err)
+	}
+	widths := []int{1, 2, 4, runtime.GOMAXPROCS(0)}
+	for _, cache := range []struct {
+		label   string
+		noCache bool
+	}{{"on", false}, {"off", true}} {
+		for _, w := range widths {
+			b.Run(fmt.Sprintf("cache=%s/workers=%d", cache.label, w), func(b *testing.B) {
+				opts := Options{NoCache: cache.noCache}
+				for i := 0; i < b.N; i++ {
+					if _, err := RouteAll(nets, opts, w); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(len(nets)), "nets/op")
+			})
+		}
+	}
+}
+
 // BenchmarkHugeNet measures the hierarchical router (internal/hier) on
 // mega-clustered nets of degree 64–4096 — the clock/reset-spine regime the
 // flat local search cannot reach interactively. Crossover 32 forces even

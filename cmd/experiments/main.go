@@ -3,15 +3,18 @@
 //
 // Usage:
 //
-//	experiments [-exp all|fig6|table2|table3|table4|fig7a|fig7b|fig7c|thm1|thm2|ablation|eco|hugenet]
+//	experiments [-exp all|fig6|table2|table3|table4|fig7a|fig7b|fig7c|thm1|thm2|ablation|eco|hugenet|scale]
 //	            [-quick] [-designs N] [-nets N] [-seed S] [-timeout 10m]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	            [-mutexprofile mutex.pprof] [-blockprofile block.pprof]
 //
 // The small-net experiments (fig6, table3, table4, fig7a) share one pass
 // over the suite and are computed together when any of them is requested.
 // -timeout bounds the whole run: when it expires, the in-flight experiment
 // aborts at its next per-net check and the command fails.
-// -cpuprofile/-memprofile write runtime/pprof profiles of the full run.
+// -cpuprofile/-memprofile write runtime/pprof profiles of the full run;
+// -mutexprofile/-blockprofile add the contention profiles the scale
+// experiment's analysis reads.
 package main
 
 import (
@@ -28,7 +31,7 @@ import (
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment to run (all, fig6, table2, table3, table4, fig7a, fig7b, fig7c, thm1, thm2, thm5, ablation, groute, eco, hugenet)")
+	which := flag.String("exp", "all", "experiment to run (all, fig6, table2, table3, table4, fig7a, fig7b, fig7c, thm1, thm2, thm5, ablation, groute, eco, hugenet, scale)")
 	quick := flag.Bool("quick", false, "use reduced sample sizes")
 	designs := flag.Int("designs", 0, "override number of designs")
 	nets := flag.Int("nets", 0, "override nets per design")
@@ -38,9 +41,16 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	mutexProfile := flag.String("mutexprofile", "", "write a mutex-contention profile to this file on exit")
+	blockProfile := flag.String("blockprofile", "", "write a goroutine-blocking profile to this file on exit")
 	flag.Parse()
 
-	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	stopProf, err := profiling.Start(profiling.Config{
+		CPU:   *cpuProfile,
+		Mem:   *memProfile,
+		Mutex: *mutexProfile,
+		Block: *blockProfile,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
@@ -197,6 +207,13 @@ func run(ctx context.Context, cfg exp.Config, which string) error {
 	}
 	if want("hugenet") {
 		res, err := exp.RunHugeNet(ctx, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	if want("scale") {
+		res, err := exp.RunScale(ctx, cfg)
 		if err != nil {
 			return err
 		}

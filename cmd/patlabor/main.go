@@ -7,6 +7,7 @@
 //	         [-lambda 9] [-table tables.gob] [-workers N] [-timeout 30s]
 //	         [-nocache] [-stats] [-v]
 //	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	         [-mutexprofile mutex.pprof] [-blockprofile block.pprof]
 //
 // Every method routes the whole file as one batch on a worker pool
 // (-workers, default GOMAXPROCS; output order and content are identical at
@@ -23,7 +24,10 @@
 // symbolic-evaluation savings, sub-frontier memo and net-dedup hit rates,
 // per-degree latency — to stderr. With -v
 // each solution also prints its tree edges. -cpuprofile/-memprofile write
-// runtime/pprof profiles of the routing run for `go tool pprof`.
+// runtime/pprof profiles of the routing run for `go tool pprof`;
+// -mutexprofile/-blockprofile add the contention profiles (lock waits,
+// channel/scheduler blocking) the scalability work reads — they enable
+// the runtime's contention sampling only for profiled runs.
 package main
 
 import (
@@ -51,13 +55,20 @@ func main() {
 	nocache := flag.Bool("nocache", false, "disable the sub-frontier memo and batch net dedup (output identical)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	mutexProfile := flag.String("mutexprofile", "", "write a mutex-contention profile to this file on exit")
+	blockProfile := flag.String("blockprofile", "", "write a goroutine-blocking profile to this file on exit")
 	flag.Parse()
 
 	if *netsPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	stopProf, err := profiling.Start(profiling.Config{
+		CPU:   *cpuProfile,
+		Mem:   *memProfile,
+		Mutex: *mutexProfile,
+		Block: *blockProfile,
+	})
 	if err != nil {
 		fatal(err)
 	}

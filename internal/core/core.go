@@ -355,10 +355,14 @@ func windowFrontier(ctx context.Context, net tree.Net, pins []int, opts Options,
 			Pins: append([]int(nil), pins...),
 		})
 	}
-	if e := cache.lookup(ks.buf); e != nil {
+	// Resolve the owning shard once: the lookup, the hit/miss counters and
+	// the store below all touch only this shard, so concurrent workers on
+	// different windows almost never share a lock or a counter cache line.
+	shard := cache.shardOfBytes(ks.buf)
+	if e := shard.lookup(ks.buf); e != nil {
 		iso, err := windowIsometry(e, sub, r, tf)
 		if err == nil {
-			cache.hits.Add(1)
+			shard.hits.Add(1)
 			out := make([]pareto.Item[*tree.Tree], len(e.items))
 			for i, it := range e.items {
 				v := iso.ApplyTree(it.Val)
@@ -372,7 +376,7 @@ func windowFrontier(ctx context.Context, net tree.Net, pins []int, opts Options,
 		// A matching key whose isometry cannot be derived would be a key
 		// collision; recompute rather than trust the entry.
 	}
-	cache.misses.Add(1)
+	shard.misses.Add(1)
 	items, err := small(ctx, sub, opts)
 	if err != nil {
 		return nil, err
@@ -381,13 +385,13 @@ func windowFrontier(ctx context.Context, net tree.Net, pins []int, opts Options,
 	for i, it := range items {
 		stored[i] = pareto.Item[*tree.Tree]{Sol: it.Sol, Val: it.Val.Clone()}
 	}
-	cache.store(ks.buf, &subEntry{
+	shard.store(ks.buf, &subEntry{
 		canonical: canonical,
 		src:       sub.Pins[0],
 		ranks:     r,
 		tf:        tf,
 		items:     stored,
-	})
+	}, cache.perShard)
 	for _, it := range items {
 		if err := it.Val.RelabelPins(pins); err != nil {
 			return nil, err

@@ -16,6 +16,16 @@ import (
 // so the default is generous while staying far below batch memory.
 const DefaultSubCacheEntries = 1 << 14
 
+// SubCacheShards is the number of independent shards a SubCache splits
+// its key space over (a power of two; keys select their shard by hash).
+// Each shard has its own mutex, bounded map and hit/miss counters, so
+// workers touching different shards never serialize on each other — the
+// single-mutex layout flattened RouteAll scaling well before the worker
+// count reached the core count. 32 shards keep the per-worker collision
+// probability negligible at any realistic pool size while costing only a
+// few kilobytes of fixed overhead.
+const SubCacheShards = 32
+
 // SubCache memoizes sub-frontier computations of the local search: the
 // exact Pareto frontier of a source-plus-selected-pins window. Windows
 // recur both across iterations of one net (the policy re-selects
@@ -40,13 +50,63 @@ const DefaultSubCacheEntries = 1 << 14
 // Stored items live in the frame of the first window that produced them
 // (pre-relabel, sub-net pin indices); hits clone and map them through
 // the hanan.Isometry connecting the two windows. A SubCache is safe for
-// concurrent use.
+// concurrent use; internally the key space is split over SubCacheShards
+// independently locked shards, so concurrent lookups and inserts only
+// contend when they hash to the same shard. Sharding is invisible in the
+// results: cache state never affects output bytes (the NoCache/cold/warm
+// differentials enforce it), only which mutex a given key takes.
 type SubCache struct {
+	// perShard is each shard's entry bound; the flush-at-capacity
+	// eviction runs per shard, so total residency stays within the
+	// NewSubCache capacity while eviction never takes more than one
+	// shard lock.
+	perShard int
+	shards   [SubCacheShards]subShard
+}
+
+// subShard is one lock's worth of SubCache: a bounded map plus the
+// hit/miss counters of the keys that hash here. Counters live with the
+// shard (not on the SubCache) so hot updates from different workers
+// usually land on different cache lines; the trailing pad keeps
+// neighbouring shards from sharing a line (false sharing turns
+// independent locks back into one contended line).
+type subShard struct {
 	mu      sync.Mutex
-	cap     int
 	entries map[string]*subEntry
 
 	hits, misses atomic.Int64
+
+	_ [88]byte // pad to 128 bytes: two cache lines, no neighbour sharing
+}
+
+// subHash is the FNV-1a shard-selection hash. The hash only balances
+// load — any function of the key is correct — so the cheapest well-mixed
+// one wins. Generic over the key representation so the string-keyed
+// Remove path does not copy its key into a fresh byte slice.
+func subHash[T ~string | ~[]byte](key T) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return h
+}
+
+// shardOf selects the owning shard of a key, folding the hash's high
+// bits in so the index bits mix the whole key, not just its tail.
+func (c *SubCache) shardOf(key string) *subShard {
+	h := subHash(key)
+	return &c.shards[(h^h>>32)&(SubCacheShards-1)]
+}
+
+// shardOfBytes is shardOf for the hot path's reusable key buffer.
+func (c *SubCache) shardOfBytes(key []byte) *subShard {
+	h := subHash(key)
+	return &c.shards[(h^h>>32)&(SubCacheShards-1)]
 }
 
 // subEntry is one memoized window frontier, in the originating window's
@@ -63,24 +123,41 @@ type subEntry struct {
 }
 
 // NewSubCache returns an empty sub-frontier memo holding at most
-// capacity windows (<= 0 uses DefaultSubCacheEntries).
+// capacity windows (<= 0 uses DefaultSubCacheEntries), spread evenly
+// over SubCacheShards shards.
 func NewSubCache(capacity int) *SubCache {
 	if capacity <= 0 {
 		capacity = DefaultSubCacheEntries
 	}
-	return &SubCache{cap: capacity, entries: make(map[string]*subEntry)}
+	perShard := (capacity + SubCacheShards - 1) / SubCacheShards
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &SubCache{perShard: perShard}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[string]*subEntry)
+	}
+	return c
 }
 
-// Counters returns the cumulative hit/miss counts.
+// Counters returns the cumulative hit/miss counts, summed over shards.
 func (c *SubCache) Counters() (hits, misses int64) {
-	return c.hits.Load(), c.misses.Load()
+	for i := range c.shards {
+		hits += c.shards[i].hits.Load()
+		misses += c.shards[i].misses.Load()
+	}
+	return hits, misses
 }
 
-// Len returns the number of resident entries.
+// Len returns the number of resident entries, summed over shards.
 func (c *SubCache) Len() int {
-	c.mu.Lock()
-	n := len(c.entries)
-	c.mu.Unlock()
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
 	return n
 }
 
@@ -90,15 +167,18 @@ func (c *SubCache) Len() int {
 // become stale, but windows whose pins an edit moved will never be
 // looked up again under their old keys, and letting them accumulate
 // would trigger store's wholesale capacity flush — evicting dead keys
-// one by one keeps the live ones resident. The hit/miss counters are
+// one by one keeps the live ones resident. The key's hash identifies the
+// owning shard, so an invalidation locks exactly one shard and never
+// stalls lookups elsewhere in the cache. The hit/miss counters are
 // untouched: eviction is not cache traffic.
 func (c *SubCache) Remove(key string) bool {
-	c.mu.Lock()
-	_, ok := c.entries[key]
+	s := c.shardOf(key)
+	s.mu.Lock()
+	_, ok := s.entries[key]
 	if ok {
-		delete(c.entries, key)
+		delete(s.entries, key)
 	}
-	c.mu.Unlock()
+	s.mu.Unlock()
 	return ok
 }
 
@@ -121,28 +201,30 @@ type SubTrace struct {
 
 // lookup returns the entry for key, or nil. It does not touch the
 // hit/miss counters — a found entry only becomes a hit once the isometry
-// derivation succeeds (subFrontier counts the outcome).
-func (c *SubCache) lookup(key []byte) *subEntry {
-	c.mu.Lock()
-	e := c.entries[string(key)]
-	c.mu.Unlock()
+// derivation succeeds (windowFrontier counts the outcome on the owning
+// shard, which it resolves once per window via shardOfBytes).
+func (s *subShard) lookup(key []byte) *subEntry {
+	s.mu.Lock()
+	e := s.entries[string(key)]
+	s.mu.Unlock()
 	return e
 }
 
 // store inserts an entry under key. The first writer wins: concurrent
 // workers may compute the same window, and any of the results is an
 // equally valid representative (they are byte-identical up to the
-// entry's isometry frame). At capacity the map is flushed whole —
-// correctness never depends on residency, only speed does.
-func (c *SubCache) store(key []byte, e *subEntry) {
-	c.mu.Lock()
-	if len(c.entries) >= c.cap {
-		c.entries = make(map[string]*subEntry, c.cap)
+// entry's isometry frame). At capacity the shard's map is flushed whole
+// — correctness never depends on residency, only speed does — and the
+// flush never takes another shard's lock.
+func (s *subShard) store(key []byte, e *subEntry, perShard int) {
+	s.mu.Lock()
+	if len(s.entries) >= perShard {
+		s.entries = make(map[string]*subEntry, perShard)
 	}
-	if _, ok := c.entries[string(key)]; !ok {
-		c.entries[string(key)] = e
+	if _, ok := s.entries[string(key)]; !ok {
+		s.entries[string(key)] = e
 	}
-	c.mu.Unlock()
+	s.mu.Unlock()
 }
 
 // keyScratch holds the reusable buffers of sub-frontier key

@@ -282,7 +282,7 @@ func (e *Engine) RouteAll(ctx context.Context, nets []tree.Net) ([]Result, error
 	}
 	methodName := e.method.Name()
 	out := make([]Result, len(nets))
-	local := make([]collector, e.workers)
+	local := make([]paddedCollector, e.workers)
 	start := time.Now()
 	err := pool.Each(ctx, len(nets), e.workers, func(worker, i int) error {
 		if assigns != nil && assigns[i].rep != i {
@@ -333,7 +333,7 @@ func (e *Engine) RouteAll(ctx context.Context, nets []tree.Net) ([]Result, error
 
 	e.mu.Lock()
 	for w := range local {
-		e.stats.merge(methodName, &local[w])
+		e.stats.merge(methodName, &local[w].collector)
 	}
 	if dups.nets > 0 {
 		e.stats.merge(methodName, &dups)

@@ -18,9 +18,11 @@ import (
 	"patlabor/internal/tree"
 )
 
-// TestRouteAllDifferential is the determinism contract: a Workers: 8
-// batch returns byte-identical frontiers to routing each net serially
-// with core.Frontier, on 220 random small nets of degree 2..7.
+// TestRouteAllDifferential is the determinism contract: pooled batches
+// return byte-identical frontiers to routing each net serially with
+// core.Frontier, on 220 random small nets of degree 2..7 — at the
+// standard width, and oversubscribed (4×GOMAXPROCS workers) with the
+// sharded sub-frontier cache cold and warm.
 func TestRouteAllDifferential(t *testing.T) {
 	rng := rand.New(rand.NewSource(1729))
 	const count = 220
@@ -39,25 +41,50 @@ func TestRouteAllDifferential(t *testing.T) {
 		serial[i] = sols
 	}
 
-	results, err := RouteAll(context.Background(), nets, Options{Workers: 8})
-	if err != nil {
-		t.Fatal(err)
+	// The cell grid: the standard pooled width, then an oversubscribed
+	// pool (4×GOMAXPROCS — workers far outnumber cores, so the scheduler
+	// interleaves them aggressively and every shard of the sub-frontier
+	// cache sees mixed traffic) with the cache cold and warm. A warm cell
+	// reuses its engine for a second pass: every window hits the sharded
+	// memo, the strictest cache-transport check.
+	over := 4 * runtime.GOMAXPROCS(0)
+	cells := []struct {
+		name   string
+		opts   Options
+		passes int
+	}{
+		{"workers=8", Options{Workers: 8}, 1},
+		{fmt.Sprintf("workers=%d/cache=cold", over), Options{Workers: over}, 1},
+		{fmt.Sprintf("workers=%d/cache=warm", over), Options{Workers: over}, 2},
 	}
-	if len(results) != count {
-		t.Fatalf("got %d results for %d nets", len(results), count)
-	}
-	for i, cands := range results {
-		got := make([]pareto.Sol, len(cands))
-		for k, c := range cands {
-			got[k] = c.Sol
-			if err := c.Val.Validate(nets[i]); err != nil {
-				t.Fatalf("net %d candidate %d: %v", i, k, err)
+	for _, cell := range cells {
+		eng, err := New(cell.opts)
+		if err != nil {
+			t.Fatalf("%s: %v", cell.name, err)
+		}
+		var results []Result
+		for p := 0; p < cell.passes; p++ {
+			results, err = eng.RouteAll(context.Background(), nets)
+			if err != nil {
+				t.Fatalf("%s pass %d: %v", cell.name, p, err)
 			}
 		}
-		want := serial[i]
-		if !bytes.Equal([]byte(fmt.Sprint(got)), []byte(fmt.Sprint(want))) {
-			t.Fatalf("net %d (degree %d): concurrent frontier %v != serial %v",
-				i, nets[i].Degree(), got, want)
+		if len(results) != count {
+			t.Fatalf("%s: got %d results for %d nets", cell.name, len(results), count)
+		}
+		for i, cands := range results {
+			got := make([]pareto.Sol, len(cands))
+			for k, c := range cands {
+				got[k] = c.Sol
+				if err := c.Val.Validate(nets[i]); err != nil {
+					t.Fatalf("%s: net %d candidate %d: %v", cell.name, i, k, err)
+				}
+			}
+			want := serial[i]
+			if !bytes.Equal([]byte(fmt.Sprint(got)), []byte(fmt.Sprint(want))) {
+				t.Fatalf("%s: net %d (degree %d): concurrent frontier %v != serial %v",
+					cell.name, i, nets[i].Degree(), got, want)
+			}
 		}
 	}
 }

@@ -27,7 +27,7 @@ func (e *Engine) Track(ctx context.Context, nets []tree.Net) ([]*eco.Handle, err
 	}
 	handles := make([]*eco.Handle, len(nets))
 	methodName := e.method.Name()
-	local := make([]collector, e.workers)
+	local := make([]paddedCollector, e.workers)
 	start := time.Now()
 	err := pool.Each(ctx, len(nets), e.workers, func(worker, i int) error {
 		t0 := time.Now()
@@ -61,7 +61,7 @@ func (e *Engine) RerouteBatch(ctx context.Context, handles []*eco.Handle, edits 
 	}
 	out := make([]Result, len(handles))
 	methodName := e.method.Name()
-	local := make([]collector, e.workers)
+	local := make([]paddedCollector, e.workers)
 	start := time.Now()
 	err := pool.Each(ctx, len(handles), e.workers, func(worker, i int) error {
 		t0 := time.Now()
@@ -83,10 +83,10 @@ func (e *Engine) RerouteBatch(ctx context.Context, handles []*eco.Handle, edits 
 
 // mergeBatch folds a batch's per-worker collectors and wall time into
 // the engine's cumulative stats.
-func (e *Engine) mergeBatch(methodName string, local []collector, elapsed time.Duration) {
+func (e *Engine) mergeBatch(methodName string, local []paddedCollector, elapsed time.Duration) {
 	e.mu.Lock()
 	for w := range local {
-		e.stats.merge(methodName, &local[w])
+		e.stats.merge(methodName, &local[w].collector)
 	}
 	e.stats.Batches++
 	e.stats.Elapsed += elapsed

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -39,8 +40,10 @@ func resultEqual(got, want Result) error {
 
 // TestRerouteBatchDifferential is the worker-count half of the churn
 // differential: the same pregenerated edit streams replayed through
-// engines at workers 1 and 8 must agree with each other and with a
-// serial from-scratch core.Route of every post-edit net, at every step.
+// engines at workers 1, 8 and 4×GOMAXPROCS (the oversubscribed pool,
+// every engine sharing its own warm sharded sub-frontier cache across
+// steps) must agree with each other and with a serial from-scratch
+// core.Route of every post-edit net, at every step.
 func TestRerouteBatchDifferential(t *testing.T) {
 	rng := rand.New(rand.NewSource(1729))
 	const count, steps = 40, 3
@@ -61,7 +64,7 @@ func TestRerouteBatchDifferential(t *testing.T) {
 	}
 
 	ctx := context.Background()
-	workerCounts := []int{1, 8}
+	workerCounts := []int{1, 8, 4 * runtime.GOMAXPROCS(0)}
 	handles := make([][]*eco.Handle, len(workerCounts))
 	engines := make([]*Engine, len(workerCounts))
 	for wi, w := range workerCounts {

@@ -129,6 +129,20 @@ type collector struct {
 	degrees map[int]*DegreeLatency
 }
 
+// paddedCollector is the element type of a batch's per-worker collector
+// slice. The bare collector is 32 bytes, so adjacent workers' hot
+// counters would share a 64-byte cache line and every record() would
+// ping-pong the line between cores — private data, shared line. The pad
+// rounds each element up to 128 bytes (two lines, covering adjacent-line
+// prefetchers) so the no-synchronisation promise of collector holds at
+// the hardware level too. Merging at batch end stays deterministic:
+// collectors are folded in worker-index order regardless of which worker
+// finished first.
+type paddedCollector struct {
+	collector
+	_ [96]byte
+}
+
 // degreeBin coarsens large degrees for the per-degree histograms: exact
 // below 65, then one bin per decade boundary (≤100, ≤1000, ≤10000,
 // above), so a mega-net batch (internal/hier territory, degrees 10³–10⁴)

@@ -1,0 +1,129 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"patlabor/internal/engine"
+	"patlabor/internal/netgen"
+	"patlabor/internal/textplot"
+	"patlabor/internal/tree"
+)
+
+// ScaleResult is the scalability experiment: one fixed mixed batch swept
+// over worker-pool widths × cache modes, reporting wall clock, speedup
+// over workers=1 and the engine's effective parallelism per cell.
+type ScaleResult struct {
+	Rows    [][]string
+	Widths  []int
+	Nets    int
+	MaxProc int
+}
+
+// RunScale measures batch-routing scalability: the same mixed batch
+// (small exact-frontier nets plus large local-search nets, like the
+// BenchmarkScaling batch) is routed at worker widths 1, 2, 4, …, up to
+// GOMAXPROCS and at GOMAXPROCS itself, each width once with the shared
+// caches on (sub-frontier memo + batch dedup — the configuration whose
+// coordination cost the sharded SubCache bounds) and once with them off
+// (the embarrassingly parallel reference). Every cell's frontiers are
+// verified byte-identical to the serial cache-off routing of the same
+// batch, so the table can only ever trade wall clock, never results.
+// The speedup column is that cell's wall clock against the same mode's
+// workers=1 row; Amdahl headroom beyond GOMAXPROCS does not exist, so
+// widths are clamped there.
+func RunScale(ctx context.Context, cfg Config) (*ScaleResult, error) {
+	batchSize := 48
+	if cfg.Quick {
+		batchSize = 16
+	}
+	rng := rand.New(rand.NewSource(cfg.Suite.Seed + 9))
+	nets := make([]tree.Net, batchSize)
+	for i := range nets {
+		deg := 4 + rng.Intn(6)
+		if i%4 == 0 {
+			deg = 14 + rng.Intn(12)
+		}
+		nets[i] = netgen.Clustered(rng, deg, 100000, 4000)
+	}
+
+	maxProc := runtime.GOMAXPROCS(0)
+	if cfg.Workers > 0 {
+		maxProc = cfg.Workers
+	}
+	widths := []int{1}
+	for w := 2; w < maxProc; w *= 2 {
+		widths = append(widths, w)
+	}
+	if maxProc > 1 {
+		widths = append(widths, maxProc)
+	}
+
+	// The byte-identity reference: serial, cache-off. Also warms the
+	// shared lookup table outside every timed cell.
+	ref, err := engine.RouteAll(ctx, nets, engine.Options{Workers: 1, NoCache: true})
+	if err != nil {
+		return nil, fmt.Errorf("scale: reference routing: %w", err)
+	}
+
+	res := &ScaleResult{Widths: widths, Nets: batchSize, MaxProc: maxProc}
+	for _, mode := range []struct {
+		label   string
+		noCache bool
+	}{{"on", false}, {"off", true}} {
+		var base time.Duration
+		for _, w := range widths {
+			eng, err := engine.New(engine.Options{Workers: w, NoCache: mode.noCache})
+			if err != nil {
+				return nil, fmt.Errorf("scale: %w", err)
+			}
+			var out []engine.Result
+			var elapsed time.Duration
+			if err := timed(&elapsed, func() error {
+				var rerr error
+				out, rerr = eng.RouteAll(ctx, nets)
+				return rerr
+			}); err != nil {
+				return nil, fmt.Errorf("scale: cache=%s workers=%d: %w", mode.label, w, err)
+			}
+			for i := range out {
+				if err := sameFrontier(out[i], ref[i]); err != nil {
+					return nil, fmt.Errorf("scale: cache=%s workers=%d: net %d differs from serial reference: %w",
+						mode.label, w, i, err)
+				}
+			}
+			if w == 1 {
+				base = elapsed
+			}
+			speedup := "-"
+			if w > 1 && elapsed > 0 {
+				speedup = fmt.Sprintf("%.2fx", float64(base)/float64(elapsed))
+			}
+			st := eng.Stats()
+			res.Rows = append(res.Rows, []string{
+				mode.label, fmt.Sprintf("%d", w),
+				fmtDur(elapsed), speedup, fmt.Sprintf("%.2fx", st.Speedup()),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Render formats the speedup-vs-workers table with the determinism and
+// host-parallelism notes.
+func (r *ScaleResult) Render() string {
+	out := fmt.Sprintf("Scalability — %d-net mixed batch, GOMAXPROCS=%d\n", r.Nets, r.MaxProc)
+	out += textplot.Table(
+		[]string{"cache", "workers", "wall", "speedup", "busy/wall"},
+		r.Rows)
+	out += "\nspeedup is against the same cache mode's workers=1 row; busy/wall is summed per-net\n"
+	out += "routing time over wall clock (the pool's effective parallelism, engine.Stats.Speedup)\n"
+	out += "byte-identity: every cell verified against the serial cache-off routing of the batch\n"
+	if r.MaxProc == 1 {
+		out += "GOMAXPROCS=1: the sweep degenerates to coordination-overhead measurement; run on a multi-core host for a real speedup curve\n"
+	}
+	return out
+}

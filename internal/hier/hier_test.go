@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"patlabor/internal/core"
@@ -81,8 +82,9 @@ func sameFrontier(t *testing.T, label string, got, want []pareto.Item[*tree.Tree
 
 // TestDifferential is the PR's byte-identity harness: 220 nets (plus two
 // degree-1024 mega-nets) are routed hierarchically with every combination
-// of worker count 1/8 and sub-frontier memo off/cold/warm, and every
-// frontier must match the serial cache-less reference node for node.
+// of worker count 1/8/4×GOMAXPROCS and sub-frontier memo off/cold/warm,
+// and every frontier must match the serial cache-less reference node for
+// node.
 func TestDifferential(t *testing.T) {
 	nets := testNets(t, 218)
 	rng := rand.New(rand.NewSource(11))
@@ -91,8 +93,13 @@ func TestDifferential(t *testing.T) {
 		netgen.Uniform(rng, 1024, 1000000),
 	)
 	ctx := context.Background()
+	// over oversubscribes the intra-net fan-out: 4×GOMAXPROCS workers on
+	// however many cores exist, the aggressive-interleaving regime where
+	// shard-level races in the sub-frontier cache would surface.
+	over := 4 * runtime.GOMAXPROCS(0)
 	warm1 := core.NewSubCache(0)
 	warm8 := core.NewSubCache(0)
+	warmOver := core.NewSubCache(0)
 	for i, net := range nets {
 		want, err := RouteContext(ctx, net, diffOptions(1, nil, true))
 		if err != nil {
@@ -105,10 +112,12 @@ func TestDifferential(t *testing.T) {
 			{"workers=8 cache=off", diffOptions(8, nil, true)},
 			{"workers=1 cache=cold", diffOptions(1, core.NewSubCache(0), false)},
 			{"workers=8 cache=cold", diffOptions(8, core.NewSubCache(0), false)},
+			{fmt.Sprintf("workers=%d cache=cold", over), diffOptions(over, core.NewSubCache(0), false)},
 			// The warm caches persist across all nets of the loop, so
 			// later nets are answered from windows earlier nets stored.
 			{"workers=1 cache=warm", diffOptions(1, warm1, false)},
 			{"workers=8 cache=warm", diffOptions(8, warm8, false)},
+			{fmt.Sprintf("workers=%d cache=warm", over), diffOptions(over, warmOver, false)},
 		}
 		for _, run := range runs {
 			got, err := RouteContext(ctx, net, run.opts)

@@ -26,9 +26,9 @@ func queryReference(t *Table, net tree.Net) ([]pareto.Item[*tree.Tree], bool, er
 	}
 	r := hanan.RanksOf(net)
 	canon, tf := hanan.Canonical(r.Pattern)
-	t.mu.RLock()
+	t.mu.Lock()
 	e, ok := t.entries[canon.Key()]
-	t.mu.RUnlock()
+	t.mu.Unlock()
 	if !ok {
 		return nil, false, nil
 	}
@@ -167,7 +167,7 @@ type oldDiskTable struct {
 func TestLoadOldFormat(t *testing.T) {
 	src := diffTable(t, 4)
 	var old oldDiskTable
-	src.mu.RLock()
+	src.mu.Lock()
 	for k, e := range src.entries {
 		old.Entries = append(old.Entries, oldDiskEntry{Key: k, Topos: e.topos})
 	}
@@ -177,7 +177,7 @@ func TestLoadOldFormat(t *testing.T) {
 	for _, s := range src.stats {
 		old.Stats = append(old.Stats, s)
 	}
-	src.mu.RUnlock()
+	src.mu.Unlock()
 
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(old); err != nil {
@@ -192,13 +192,13 @@ func TestLoadOldFormat(t *testing.T) {
 			t.Fatalf("old-format load does not cover degree %d", d)
 		}
 	}
-	loaded.mu.RLock()
+	loaded.mu.Lock()
 	for k, e := range loaded.entries {
 		if len(e.sols) != len(e.topos) {
 			t.Fatalf("entry %q: %d sols for %d topos after old-format load", k, len(e.sols), len(e.topos))
 		}
 	}
-	loaded.mu.RUnlock()
+	loaded.mu.Unlock()
 
 	rng := rand.New(rand.NewSource(21))
 	for trial := 0; trial < 40; trial++ {
@@ -329,6 +329,7 @@ func TestQueryCounters(t *testing.T) {
 		bad.topos[i] = param.Topology{Nodes: nodes, Parent: bad.topos[i].Parent}
 	}
 	tab.entries[key] = bad
+	tab.publishLocked()
 	tab.mu.Unlock()
 
 	if _, ok, err := tab.Query(net); err == nil || ok {

@@ -415,7 +415,7 @@ func (t *Table) SaveFlat(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	t.mu.RLock()
+	t.mu.Lock()
 	degrees := make([]int, 0, len(t.stats))
 	for d := range t.stats {
 		degrees = append(degrees, d)
@@ -440,7 +440,7 @@ func (t *Table) SaveFlat(w io.Writer) error {
 		degRecs = append(degRecs, DegreeStats{Degree: d})
 		covered = append(covered, true)
 	}
-	t.mu.RUnlock()
+	t.mu.Unlock()
 
 	le := binary.LittleEndian
 	// Pass 1: per-entry layout.
@@ -634,13 +634,13 @@ func atomicWrite(path string, save func(io.Writer) error) error {
 // Flat entries are materialized (decoded) here; the builder map wins on
 // key collisions, then earlier-attached blobs, matching Query's order.
 func (t *Table) snapshotEntries() ([]string, []entry, error) {
-	t.mu.RLock()
+	t.mu.Lock()
 	merged := make(map[string]entry, len(t.entries))
 	flats := t.flats
 	for k, e := range t.entries {
 		merged[k] = e
 	}
-	t.mu.RUnlock()
+	t.mu.Unlock()
 	for _, b := range flats {
 		for i := 0; i < b.n; i++ {
 			k, e, err := b.decodeEntry(i)

@@ -59,25 +59,89 @@ type entry struct {
 // decoding). The builder backend wins on key collisions, then flat
 // backends in attach order, so lookup order is deterministic.
 //
-// All methods are safe for concurrent use: lookups take the read lock,
-// merges (Generate/Load/LoadFile) take the write lock, and the query
-// counters are atomics so the hot Query path never serialises on them.
+// All methods are safe for concurrent use. The read path is lock free:
+// Query, Covers and MaxCovered load an immutable snapshot through an
+// atomic pointer and never touch the mutex, so a table shared by every
+// worker of a batch engine adds no serialisation to the per-net path —
+// once built, the table behaves like the immutable mmapped blob it
+// usually is. Mutations (Generate/Load/LoadFile/Close) run under the
+// writer mutex against the canonical maps and publish a fresh snapshot
+// when done; a query concurrent with a merge sees either the old or the
+// new table, never a partial one. The query counters are atomics, each
+// padded to its own cache line so hot updates from different workers do
+// not false-share.
 type Table struct {
-	mu      sync.RWMutex
+	// snap is the immutable read-path view; see tableSnapshot.
+	snap atomic.Pointer[tableSnapshot]
+
+	// mu guards the canonical writer state below. Readers never take it.
+	mu      sync.Mutex
 	entries map[string]entry
 	degrees map[int]bool
 	stats   map[int]DegreeStats
 	flats   []*flatBlob // read-only flat backends, attach order
 
-	hits      atomic.Int64
-	misses    atomic.Int64
-	queryErrs atomic.Int64
+	hits      paddedCount
+	misses    paddedCount
+	queryErrs paddedCount
 
-	evaluated    atomic.Int64 // topologies evaluated symbolically
-	materialized atomic.Int64 // trees instantiated (frontier survivors)
+	evaluated    paddedCount // topologies evaluated symbolically
+	materialized paddedCount // trees instantiated (frontier survivors)
 
 	loadNanos   atomic.Int64 // cumulative wall-clock spent in LoadFile
 	mappedBytes atomic.Int64 // bytes currently memory-mapped
+}
+
+// paddedCount is an atomic counter alone on its cache line: the hot
+// Query counters are bumped once per query by every worker, and packing
+// them densely would bounce one shared line between cores on each bump.
+type paddedCount struct {
+	atomic.Int64
+	_ [56]byte
+}
+
+// tableSnapshot is the immutable view the lock-free read path consults:
+// a copy of the builder entries, the covered-degree set, and the flat
+// backends at publish time. Snapshots are never mutated after the atomic
+// pointer store — writers build a fresh one per mutation — so readers
+// can use one without synchronisation for as long as they hold it.
+type tableSnapshot struct {
+	entries map[string]entry
+	degrees map[int]bool
+	flats   []*flatBlob
+}
+
+// emptySnapshot backs tables created as zero values before any publish.
+var emptySnapshot = &tableSnapshot{}
+
+// snapshot returns the current read-path view (never nil).
+func (t *Table) snapshot() *tableSnapshot {
+	if s := t.snap.Load(); s != nil {
+		return s
+	}
+	return emptySnapshot
+}
+
+// publishLocked builds and atomically publishes a fresh snapshot of the
+// writer state; t.mu must be held. Mutations are rare (table generation,
+// file loads) and heavy, so copying the key maps here is noise next to
+// the work that preceded it — and it is what lets every Query between
+// now and the next mutation run without a lock.
+func (t *Table) publishLocked() {
+	s := &tableSnapshot{
+		entries: make(map[string]entry, len(t.entries)),
+		degrees: make(map[int]bool, len(t.degrees)),
+		flats:   append([]*flatBlob(nil), t.flats...),
+	}
+	for k, v := range t.entries {
+		s.entries[k] = v
+	}
+	for d, ok := range t.degrees {
+		if ok {
+			s.degrees[d] = true
+		}
+	}
+	t.snap.Store(s)
 }
 
 // DegreeStats records the generation statistics reported in Table II of
@@ -116,22 +180,20 @@ func New() *Table {
 	}
 }
 
-// Covers reports whether the table fully covers the given degree.
+// Covers reports whether the table fully covers the given degree. Lock
+// free: it reads the published snapshot, so the sub-frontier hot path
+// (which probes coverage once per window) never serialises here.
 func (t *Table) Covers(degree int) bool {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.degrees[degree]
+	return t.snapshot().degrees[degree]
 }
 
 // MaxCovered returns the largest fully covered degree that is <= limit,
 // or 0 when no degree in range is covered. Callers that size work to the
 // table (internal/hier's adaptive cluster sizing) use this instead of
-// probing Covers degree by degree.
+// probing Covers degree by degree. Lock free, like Covers.
 func (t *Table) MaxCovered(limit int) int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
 	best := 0
-	for d, ok := range t.degrees {
+	for d, ok := range t.snapshot().degrees {
 		if ok && d <= limit && d > best {
 			best = d
 		}
@@ -149,8 +211,8 @@ func (t *Table) LoadInfo() (loadTime time.Duration, mappedBytes int64) {
 
 // Stats returns the generation statistics per degree, sorted by degree.
 func (t *Table) Stats() []DegreeStats {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	out := make([]DegreeStats, 0, len(t.stats))
 	for _, s := range t.stats {
 		out = append(out, s)
@@ -287,6 +349,7 @@ func (t *Table) generate(degree, workers, sample, shard, shardCount int) error {
 		t.degrees[degree] = true
 	}
 	t.mergeStatsLocked(st)
+	t.publishLocked()
 	return nil
 }
 
@@ -333,8 +396,8 @@ func (t *Table) mergeStatsLocked(in DegreeStats) {
 // ok=true means the degree is complete; ok=false means t has no sharded
 // stats for the degree at all.
 func (t *Table) MissingShards(degree int) (missing []int, shardCount int, ok bool) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if t.degrees[degree] {
 		return nil, 0, true
 	}
@@ -376,6 +439,25 @@ var scratchPool = sync.Pool{
 	},
 }
 
+// maxRetainedEvals bounds the evals capacity a scratch may carry back
+// into the pool. evals grows with the queried entry's solution count, so
+// one query against a dense high-degree entry would otherwise pin its
+// worst-case allocation in every pooled scratch for the process lifetime
+// (the pool never shrinks what it is handed). Oversized buffers are
+// dropped on put and the next query re-grows from empty; the bound is
+// far above the typical entry so steady-state queries still never
+// allocate.
+const maxRetainedEvals = 4096
+
+// putScratch returns sc to the pool, shedding any buffer that grew past
+// its retention bound.
+func putScratch(sc *scratch) {
+	if cap(sc.evals) > maxRetainedEvals {
+		sc.evals = nil
+	}
+	scratchPool.Put(sc)
+}
+
 // Query returns the exact Pareto frontier of the net with one optimal tree
 // per point, when the net's canonical pattern is present in the table.
 // The boolean is false when the pattern (or degree) is not covered.
@@ -392,18 +474,19 @@ func (t *Table) Query(net tree.Net) ([]pareto.Item[*tree.Tree], bool, error) {
 	}
 	r := hanan.RanksOf(net)
 	sc := scratchPool.Get().(*scratch)
-	defer scratchPool.Put(sc)
+	defer putScratch(sc)
 	key, tf := hanan.AppendCanonicalKey(sc.key[:0], r.Pattern)
 	sc.key = key
-	t.mu.RLock()
-	e, ok := t.entries[string(key)]
-	flats := t.flats
-	t.mu.RUnlock()
+	// Lock-free lookup: the snapshot is immutable, so the entry map and
+	// the backend list can be read without synchronisation. A concurrent
+	// merge publishes a new snapshot; this query finishes on the old one.
+	snap := t.snapshot()
+	e, ok := snap.entries[string(key)]
 	if !ok {
 		// Builder-backend miss: search the read-only flat backends in
 		// attach order. The flat path evaluates coefficient rows directly
 		// against the mapping — no decode, no entry allocation.
-		for _, b := range flats {
+		for _, b := range snap.flats {
 			if i, found := b.find(key); found {
 				return t.queryFlat(b, i, r, tf, sc)
 			}
@@ -464,7 +547,7 @@ func (t *Table) queryFlat(b *flatBlob, i int, r hanan.Ranks, tf hanan.Transform,
 		// max over the solution's delay rows, starting at zero.
 		var d int64
 		for rr := 0; rr < rows; rr++ {
-			if x := fe.dRow(dOff + rr).Eval(hh, vv); x > d {
+			if x := fe.dRow(dOff+rr).Eval(hh, vv); x > d {
 				d = x
 			}
 		}
@@ -587,7 +670,7 @@ func (t *Table) Save(w io.Writer) error {
 	for i, k := range keys {
 		dt.Entries = append(dt.Entries, diskEntry{Key: k, Topos: entries[i].topos, Sols: entries[i].sols})
 	}
-	t.mu.RLock()
+	t.mu.Lock()
 	for d := range t.degrees {
 		dt.Degrees = append(dt.Degrees, d)
 	}
@@ -595,7 +678,7 @@ func (t *Table) Save(w io.Writer) error {
 	for _, s := range t.stats {
 		dt.Stats = append(dt.Stats, s)
 	}
-	t.mu.RUnlock()
+	t.mu.Unlock()
 	slices.SortFunc(dt.Stats, func(a, b DegreeStats) int { return a.Degree - b.Degree })
 	return gob.NewEncoder(w).Encode(dt)
 }
@@ -631,6 +714,7 @@ func (t *Table) Load(r io.Reader) error {
 	for _, d := range dt.Degrees {
 		t.degrees[d] = true
 	}
+	t.publishLocked()
 	return nil
 }
 
@@ -723,6 +807,7 @@ func (t *Table) attachFlat(b *flatBlob) {
 			t.degrees[stats[i].Degree] = true
 		}
 	}
+	t.publishLocked()
 }
 
 // Close detaches and unmaps every flat backend. The table must not be
@@ -732,6 +817,10 @@ func (t *Table) Close() error {
 	t.mu.Lock()
 	flats := t.flats
 	t.flats = nil
+	// Publish the detached view before unmapping: a later (contract
+	// violating) query then at worst misses instead of touching unmapped
+	// memory through a stale snapshot.
+	t.publishLocked()
 	t.mu.Unlock()
 	var first error
 	for _, b := range flats {

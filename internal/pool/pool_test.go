@@ -47,6 +47,62 @@ func TestEachLowestError(t *testing.T) {
 	}
 }
 
+// TestEachChunkedLowestError stresses the lowest-failed-index guarantee
+// across chunk boundaries: n large enough that chunked dispatch hands
+// out multi-index chunks, failures scattered so the lowest one lands
+// mid-chunk while a sibling chunk fails first in wall time (the later,
+// slower failure has the lower index). Repeated runs must always report
+// the lowest index — a received chunk runs whole even after another
+// worker trips the stop signal.
+func TestEachChunkedLowestError(t *testing.T) {
+	const n = 4 * 8 * chunksPerWorker // several chunks per worker at every tested width
+	for _, workers := range []int{2, 8, 32} {
+		for run := 0; run < 20; run++ {
+			err := Each(context.Background(), n, workers, func(worker, i int) error {
+				switch {
+				case i == 5:
+					// Lowest failure, delayed past the eager one below.
+					for s := 0; s < 1<<12; s++ {
+						_ = s
+					}
+					return fmt.Errorf("job %d failed", i)
+				case i >= n/2 && i%3 == 0:
+					return fmt.Errorf("job %d failed", i)
+				}
+				return nil
+			})
+			if err == nil || err.Error() != "job 5 failed" {
+				t.Fatalf("workers=%d run=%d: err %v, want job 5's", workers, run, err)
+			}
+		}
+	}
+}
+
+// TestEachChunkCoversAll: index coverage holds when n is not a multiple
+// of the chunk size (the last chunk is short, not overrun).
+func TestEachChunkCoversAll(t *testing.T) {
+	const n = 8*chunksPerWorker*4 + 3
+	var mu sync.Mutex
+	seen := make(map[int]int)
+	err := Each(context.Background(), n, 8, func(worker, i int) error {
+		mu.Lock()
+		seen[i]++
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if seen[i] != 1 {
+			t.Fatalf("index %d visited %d times", i, seen[i])
+		}
+	}
+	if len(seen) != n {
+		t.Fatalf("%d distinct indices visited, want %d", len(seen), n)
+	}
+}
+
 // TestEachPreCancelled: a cancelled context wins over job errors on the
 // serial path and aborts promptly on the parallel path.
 func TestEachPreCancelled(t *testing.T) {

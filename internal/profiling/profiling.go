@@ -1,6 +1,7 @@
-// Package profiling wires the -cpuprofile/-memprofile flags of the
-// command-line tools to runtime/pprof, so perf work can measure the real
-// binaries (`go tool pprof <binary> cpu.pprof`) instead of guessing from
+// Package profiling wires the -cpuprofile/-memprofile and
+// -mutexprofile/-blockprofile flags of the command-line tools to
+// runtime/pprof, so perf work can measure the real binaries
+// (`go tool pprof <binary> cpu.pprof`) instead of guessing from
 // micro-benchmarks.
 package profiling
 
@@ -11,15 +12,35 @@ import (
 	"runtime/pprof"
 )
 
-// Start begins CPU profiling into cpuPath (when non-empty) and returns a
-// stop function that ends the CPU profile and writes an allocation-site
-// heap profile to memPath (when non-empty). Either path may be empty; the
+// Contention-sampling rates while a mutex or block profile is active.
+// Mutex contention events are sampled 1-in-N; blocking events are
+// recorded when they exceed the rate in nanoseconds. Both are cheap
+// enough to record everything: contention on the hot paths is exactly
+// what these profiles exist to expose, and under-sampling a run that
+// lasts seconds would hide the tail.
+const (
+	mutexFraction = 1
+	blockRateNs   = 1
+)
+
+// Config names the profile outputs of one run. Empty paths are skipped.
+type Config struct {
+	CPU   string // pprof CPU profile, sampled for the whole run
+	Mem   string // allocation-site heap profile, written at stop
+	Mutex string // mutex-contention profile, written at stop
+	Block string // goroutine-blocking profile, written at stop
+}
+
+// Start begins the profiles named in cfg and returns a stop function
+// that ends the CPU profile and writes the end-of-run profiles. The
 // returned stop function is never nil and is safe to call exactly once,
-// typically via defer in main.
-func Start(cpuPath, memPath string) (func(), error) {
+// typically via defer in main. Mutex and block profiling are off by
+// default in the runtime; Start enables their collection only when the
+// corresponding path is set, so unprofiled runs pay nothing.
+func Start(cfg Config) (func(), error) {
 	var cpuFile *os.File
-	if cpuPath != "" {
-		f, err := os.Create(cpuPath)
+	if cfg.CPU != "" {
+		f, err := os.Create(cfg.CPU)
 		if err != nil {
 			return nil, fmt.Errorf("profiling: %w", err)
 		}
@@ -29,6 +50,12 @@ func Start(cpuPath, memPath string) (func(), error) {
 		}
 		cpuFile = f
 	}
+	if cfg.Mutex != "" {
+		runtime.SetMutexProfileFraction(mutexFraction)
+	}
+	if cfg.Block != "" {
+		runtime.SetBlockProfileRate(blockRateNs)
+	}
 	stop := func() {
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
@@ -36,18 +63,33 @@ func Start(cpuPath, memPath string) (func(), error) {
 				fmt.Fprintln(os.Stderr, "profiling: closing CPU profile:", err)
 			}
 		}
-		if memPath != "" {
-			f, err := os.Create(memPath)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "profiling: creating heap profile:", err)
-				return
-			}
-			defer f.Close()
+		if cfg.Mem != "" {
 			runtime.GC() // materialize up-to-date allocation statistics
-			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
-				fmt.Fprintln(os.Stderr, "profiling: writing heap profile:", err)
-			}
+			writeLookup("allocs", cfg.Mem)
+		}
+		if cfg.Mutex != "" {
+			writeLookup("mutex", cfg.Mutex)
+			runtime.SetMutexProfileFraction(0)
+		}
+		if cfg.Block != "" {
+			writeLookup("block", cfg.Block)
+			runtime.SetBlockProfileRate(0)
 		}
 	}
 	return stop, nil
+}
+
+// writeLookup writes one named runtime profile, reporting failures to
+// stderr like the other end-of-run writers: by the time stop runs the
+// work is done, so a profile write error should not fail the command.
+func writeLookup(name, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "profiling: creating %s profile: %v\n", name, err)
+		return
+	}
+	defer f.Close()
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "profiling: writing %s profile: %v\n", name, err)
+	}
 }

@@ -6,7 +6,7 @@
 # when absolute numbers matter; the allocs/op column is machine
 # independent.
 #
-# Usage: scripts/bench.sh [pr2|pr4|pr5|pr6|pr7|pr8] [output.json]
+# Usage: scripts/bench.sh [pr2|pr4|pr5|pr6|pr7|pr8|pr9] [output.json]
 #
 #   pr2 (default)  BenchmarkLUTQuery — the symbolic-first lookup-table
 #                  query fast path (baseline: materialize-every-topology
@@ -33,6 +33,13 @@
 #                  carries a frozen lut_scale_out block: degree-6/7 table
 #                  sizes, sharded generation time, big-table cold start,
 #                  and the LUT-hit-rate lift from degree-7 coverage.
+#   pr9            BenchmarkRouteAll + BenchmarkScaling + BenchmarkEach —
+#                  the contention-free hot path (baseline: single-mutex
+#                  SubCache, RWMutex LUT reads, index-at-a-time pool
+#                  dispatch, frozen at the PR 9 branch point). The JSON
+#                  also carries a frozen lock_contention block: the
+#                  GOMAXPROCS=8 block-profile shares of the pool's channel
+#                  dispatch before and after chunking.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -129,15 +136,52 @@ EOF
   },
 EOF
     ;;
+  pr9)
+    PATTERN='BenchmarkRouteAll|BenchmarkScaling|BenchmarkEach'
+    PKGS=". ./internal/pool"
+    OUT="${2:-BENCH_PR9.json}"
+    BASELINE_KEY="baseline_pre_pr9"
+    cat > "$BASEFILE" <<'EOF'
+    "note": "single-mutex SubCache, RWMutex LUT reads, index-at-a-time pool dispatch, measured at the PR 9 branch point (Intel Xeon @ 2.10GHz, 1 core — workers>1 rows measure coordination overhead, not speedup; the two workers=1 RouteAll rows are the same configuration and their spread is the host's noise band). BenchmarkScaling did not exist pre-PR; compare its workers=1 rows against BenchmarkRouteAll/workers=1",
+    "BenchmarkRouteAll/workers=1": {"ns_op": 743035452, "b_op": 191402460, "allocs_op": 745065},
+    "BenchmarkRouteAll/workers=4": {"ns_op": 869686824, "b_op": 191395960, "allocs_op": 744941},
+    "BenchmarkRouteAll/workers=1#01": {"ns_op": 813587378, "b_op": 191402184, "allocs_op": 745059},
+    "BenchmarkEach/work=tiny/workers=1": {"ns_op": 12409, "b_op": 32, "allocs_op": 1},
+    "BenchmarkEach/work=tiny/workers=4": {"ns_op": 307348, "b_op": 19136, "allocs_op": 14},
+    "BenchmarkEach/work=tiny/workers=8": {"ns_op": 328010, "b_op": 19552, "allocs_op": 22},
+    "BenchmarkEach/work=spin/workers=1": {"ns_op": 675597, "b_op": 32, "allocs_op": 1},
+    "BenchmarkEach/work=spin/workers=4": {"ns_op": 949416, "b_op": 19136, "allocs_op": 14},
+    "BenchmarkEach/work=spin/workers=8": {"ns_op": 968476, "b_op": 19552, "allocs_op": 22}
+EOF
+    cat > "$EXTRAFILE" <<'EOF'
+  "lock_contention": {
+    "note": "contention profiles at GOMAXPROCS=8 on the 1-core CI host (absolute delay totals include preemption noise; the load-bearing signals are the profile shape and ns/op)",
+    "pool_dispatch_block_profile": {
+      "benchmark": "BenchmarkEach/work=tiny/workers=8, 2000 fixed ops, -blockprofile",
+      "before_ns_op": 492280, "after_ns_op": 80772,
+      "before_block_delay_s": 3.04, "after_block_delay_s": 0.56,
+      "top_site": "runtime.chanrecv1 (the pool's jobs channel); chunked dispatch cut its absolute delay 5.4x on identical work"
+    },
+    "subcache_mutex_profile": {
+      "benchmark": "BenchmarkSubCacheParallel, 2M fixed ops, -mutexprofile",
+      "before_ns_op": 39.18, "after_ns_op": 32.16,
+      "before_top_site": "core.(*SubCache).lookup — 90.6% of mutex delay through the one cache-global lock",
+      "after_top_site": "core.(*subShard).lookup — the cache-global lock no longer exists; delay spread over 32 shard locks"
+    }
+  },
+EOF
+    ;;
   *)
-    echo "unknown suite: $SUITE (want pr2, pr4, pr5, pr6, pr7 or pr8)" >&2
+    echo "unknown suite: $SUITE (want pr2, pr4, pr5, pr6, pr7, pr8 or pr9)" >&2
     exit 2
     ;;
 esac
 
 # BENCHTIME (e.g. BENCHTIME=30x) pins the iteration count; the heavy
-# reroute cells need it for stable ratios.
-go test -run '^$' -bench "$PATTERN" -benchmem ${BENCHTIME:+-benchtime "$BENCHTIME"} "${PKG:-.}" | tee "$TMP"
+# reroute cells need it for stable ratios. PKGS lets a suite span several
+# packages (pr9 benches the root module and internal/pool together).
+# shellcheck disable=SC2086
+go test -run '^$' -bench "$PATTERN" -benchmem ${BENCHTIME:+-benchtime "$BENCHTIME"} ${PKGS:-"${PKG:-.}"} | tee "$TMP"
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
     -v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
@@ -146,7 +190,13 @@ awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
   /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
-    ns[name] = $3; bytes[name] = $5; allocs[name] = $7
+    # Key on unit labels, not column positions: custom metrics such as
+    # BenchmarkScaling'\''s nets/op insert extra columns before B/op.
+    for (f = 2; f < NF; f++) {
+      if ($(f + 1) == "ns/op") ns[name] = $f
+      else if ($(f + 1) == "B/op") bytes[name] = $f
+      else if ($(f + 1) == "allocs/op") allocs[name] = $f
+    }
     order[n++] = name
   }
   END {
