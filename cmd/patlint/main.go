@@ -1,35 +1,68 @@
 // Command patlint runs the PatLabor domain-invariant static-analysis
 // suite over the module: exact int64 arithmetic in the exact packages,
 // deterministic map-iteration output, no wall-clock/rand in algorithm
-// packages, slices.SortFunc instead of reflection-based sort.Slice, and
-// context propagation discipline in the routing packages.
+// packages, slices.SortFunc instead of reflection-based sort.Slice,
+// context propagation discipline in the routing packages, and the
+// interprocedural dataflow rules (cache-ownership aliasing, hidden
+// cancellable work in loops, goroutine leaks, unbounded int64
+// arithmetic).
 //
 // Usage:
 //
-//	go run ./cmd/patlint ./...                # whole module (CI gate)
-//	go run ./cmd/patlint internal/pareto      # one package
-//	go run ./cmd/patlint internal/...         # a subtree
+//	go run ./cmd/patlint ./...                     # whole module (CI gate)
+//	go run ./cmd/patlint internal/pareto           # one package
+//	go run ./cmd/patlint -rules exact,goleak ./... # a rule subset
+//	go run ./cmd/patlint -json ./...               # machine-readable output
+//	go run ./cmd/patlint -baseline .patlint-baseline.json ./...
+//	go run ./cmd/patlint -baseline .patlint-baseline.json -write-baseline ./...
+//
+// With -baseline, findings recorded in the baseline file are forgiven
+// (matched by file/rule/message as a multiset, so unrelated edits that
+// move lines do not churn it); only new findings fail the run, and stale
+// baseline entries — recorded findings that no longer occur — are
+// reported on stderr so the file gets regenerated. -write-baseline
+// rewrites the baseline to the current findings and exits 0; the
+// preferred steady state is the empty baseline "[]".
 //
 // Exit status: 0 clean, 1 findings, 2 load/usage error. Findings print as
 //
 //	pkg/file.go:line: patlint(rule): message
 //
-// and are suppressed with `//patlint:ignore <rule> <reason>` on (or
-// above) the offending line, or in the doc comment of the declaration.
-// See internal/patlint for the rule catalog.
+// or, with -json, as a JSON array of {file, line, rule, msg} objects in
+// the same stable (file, line, column, rule) order. Findings are
+// suppressed with `//patlint:ignore <rule> <reason>` on (or above) the
+// offending line, or in the doc comment of the declaration. See
+// internal/patlint for the rule catalog.
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"patlabor/internal/patlint"
 )
 
 func main() {
-	patterns := os.Args[1:]
+	var (
+		jsonOut       = flag.Bool("json", false, "emit findings as a JSON array")
+		baselinePath  = flag.String("baseline", "", "baseline file of grandfathered findings")
+		writeBaseline = flag.Bool("write-baseline", false, "rewrite the -baseline file to the current findings and exit 0")
+		rulesFlag     = flag.String("rules", "", "comma-separated rules to run (default: all); known: "+strings.Join(patlint.Rules(), ","))
+	)
+	flag.Parse()
+	if *writeBaseline && *baselinePath == "" {
+		fatal(fmt.Errorf("patlint: -write-baseline requires -baseline <file>"))
+	}
+	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
+	}
+	var rules []string
+	if *rulesFlag != "" {
+		rules = strings.Split(*rulesFlag, ",")
 	}
 	wd, err := os.Getwd()
 	if err != nil {
@@ -39,12 +72,43 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	diags, err := patlint.Check(l, patterns)
+	diags, err := patlint.CheckRules(l, patterns, rules)
 	if err != nil {
 		fatal(err)
 	}
-	for _, d := range diags {
-		fmt.Println(d.Format(l.Root))
+	if *writeBaseline {
+		if err := patlint.SaveBaseline(*baselinePath, patlint.BaselineOf(l.Root, diags)); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "patlint: wrote %d finding(s) to %s\n", len(diags), *baselinePath)
+		return
+	}
+	if *baselinePath != "" {
+		base, err := patlint.LoadBaseline(*baselinePath)
+		if err != nil {
+			fatal(err)
+		}
+		var stale []patlint.BaselineEntry
+		diags, stale = patlint.ApplyBaseline(l.Root, diags, base)
+		for _, e := range stale {
+			fmt.Fprintf(os.Stderr, "patlint: stale baseline entry (finding fixed — regenerate with -write-baseline): %s: patlint(%s): %s\n",
+				e.File, e.Rule, e.Msg)
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		out := patlint.ToJSON(l.Root, diags)
+		if out == nil {
+			out = []patlint.JSONDiagnostic{}
+		}
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d.Format(l.Root))
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "patlint: %d finding(s)\n", len(diags))

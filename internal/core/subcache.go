@@ -110,7 +110,11 @@ func (c *SubCache) shardOfBytes(key []byte) *subShard {
 }
 
 // subEntry is one memoized window frontier, in the originating window's
-// concrete frame with sub-net pin indices.
+// concrete frame with sub-net pin indices. Entries are shared by every
+// goroutine that hits the cache: readers transform items through
+// iso.ApplyTree (a fresh tree) and must never write the entry itself.
+//
+//patlint:shared cache-owned; concurrent readers alias these slices
 type subEntry struct {
 	canonical bool
 	// src anchors translation-keyed entries: the originating window's

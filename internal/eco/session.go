@@ -58,7 +58,10 @@ type Session struct {
 
 // memoEntry is one memoized net frontier in the originating net's
 // concrete frame, plus the sub-frontier windows its route consulted.
-// Entries are immutable after construction.
+// Entries are immutable after construction: later hits (and the traces
+// solve returns) alias them directly.
+//
+//patlint:shared cache-owned; memo hits and returned traces alias these slices
 type memoEntry struct {
 	canonical bool
 	src       geom.Point

@@ -1,0 +1,42 @@
+package geom
+
+import "math"
+
+// Checked int64 arithmetic for the exact layers that cannot import
+// internal/param (tree, rsmt, eco sit below param in the import graph).
+// The exactness contract promises that every wirelength and delay is an
+// exact int64; a silent two's-complement wrap would instead produce a
+// plausible-looking wrong frontier. These helpers make the failure loud:
+// they panic on overflow, which no routing instance within the supported
+// coordinate range can trigger.
+
+// AddCheck returns a+b, panicking if the sum overflows int64.
+//
+//patlint:checked result is overflow-guarded (panics instead of wrapping)
+func AddCheck(a, b int64) int64 {
+	s := a + b
+	// Overflow iff the operands share a sign the sum does not.
+	if (a >= 0) == (b >= 0) && (s >= 0) != (a >= 0) {
+		panic("geom: int64 addition overflow")
+	}
+	return s
+}
+
+// MulCheck returns a*b, panicking if the product overflows int64.
+//
+//patlint:checked result is overflow-guarded (panics instead of wrapping)
+func MulCheck(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	// The division probe misses MinInt64 * -1: the product wraps back to
+	// MinInt64 and Go defines MinInt64 / -1 == MinInt64, so p/b == a.
+	if (a == math.MinInt64 && b == -1) || (a == -1 && b == math.MinInt64) {
+		panic("geom: int64 multiplication overflow")
+	}
+	p := a * b //patlint:ignore exactoverflow this is the guard: the division below detects the wrap
+	if p/b != a {
+		panic("geom: int64 multiplication overflow")
+	}
+	return p
+}

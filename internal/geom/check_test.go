@@ -1,0 +1,54 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", name)
+		}
+	}()
+	f()
+}
+
+func TestAddCheck(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{0, 0, 0},
+		{math.MaxInt64 - 1, 1, math.MaxInt64},
+		{math.MinInt64 + 1, -1, math.MinInt64},
+		{-7, 12, 5},
+		{math.MaxInt64, math.MinInt64, -1}, // opposite signs never overflow
+	}
+	for _, c := range cases {
+		if got := AddCheck(c.a, c.b); got != c.want {
+			t.Errorf("AddCheck(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+	mustPanic(t, "AddCheck(max, 1)", func() { AddCheck(math.MaxInt64, 1) })
+	mustPanic(t, "AddCheck(min, -1)", func() { AddCheck(math.MinInt64, -1) })
+	mustPanic(t, "AddCheck(max, max)", func() { AddCheck(math.MaxInt64, math.MaxInt64) })
+}
+
+func TestMulCheck(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{0, math.MaxInt64, 0},
+		{math.MinInt64, 0, 0},
+		{6, -7, -42},
+		{math.MaxInt64 / 3, 3, math.MaxInt64 / 3 * 3},
+		{math.MinInt64, 1, math.MinInt64},
+		{1, math.MinInt64, math.MinInt64},
+	}
+	for _, c := range cases {
+		if got := MulCheck(c.a, c.b); got != c.want {
+			t.Errorf("MulCheck(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+	mustPanic(t, "MulCheck(max, 2)", func() { MulCheck(math.MaxInt64, 2) })
+	mustPanic(t, "MulCheck(min, -1)", func() { MulCheck(math.MinInt64, -1) })
+	mustPanic(t, "MulCheck(-1, min)", func() { MulCheck(-1, math.MinInt64) })
+	mustPanic(t, "MulCheck(1<<32, 1<<32)", func() { MulCheck(1<<32, 1<<32) })
+}

@@ -15,8 +15,11 @@ import (
 // wirelength and delay, because L1 distances are invariant under axis
 // swaps, reflections and translations.
 type Isometry struct {
-	swap   bool
-	sx, sy int64 // ±1
+	swap bool
+	// The axis signs are ±1; the narrow type carries that bound into the
+	// sign*coordinate products (an int8 factor cannot overflow an int64
+	// product with an in-range coordinate).
+	sx, sy int8
 	cx, cy int64
 	// pins maps A's pin indices to B's; nil means the identity.
 	pins []int
@@ -117,7 +120,7 @@ func NewIsometry(ra Ranks, ta Transform, rb Ranks, tb Transform) (*Isometry, err
 
 // axisMap solves dst[biOf(k)] = s*src[k] + c for s ∈ {±1} and c, or
 // reports that no such map exists.
-func axisMap(src, dst []int64, biOf func(int) int) (s, c int64, err error) {
+func axisMap(src, dst []int64, biOf func(int) int) (s int8, c int64, err error) {
 	n := len(src)
 	s = 1
 	lo, hi := src[0], src[n-1]
@@ -125,9 +128,9 @@ func axisMap(src, dst []int64, biOf func(int) int) (s, c int64, err error) {
 	if (hi-lo > 0) != (dhi-dlo > 0) && hi != lo {
 		s = -1
 	}
-	c = dlo - s*lo
+	c = dlo - int64(s)*lo
 	for k := 0; k < n; k++ {
-		if s*src[k]+c != dst[biOf(k)] {
+		if int64(s)*src[k]+c != dst[biOf(k)] {
 			return 0, 0, fmt.Errorf("rank %d: %d does not map to %d under (%+d, %+d)", k, src[k], dst[biOf(k)], s, c)
 		}
 	}
@@ -137,9 +140,9 @@ func axisMap(src, dst []int64, biOf func(int) int) (s, c int64, err error) {
 // Point maps a point of instance A's plane into instance B's.
 func (iso *Isometry) Point(p geom.Point) geom.Point {
 	if iso.swap {
-		return geom.Point{X: iso.sx*p.Y + iso.cx, Y: iso.sy*p.X + iso.cy}
+		return geom.Point{X: int64(iso.sx)*p.Y + iso.cx, Y: int64(iso.sy)*p.X + iso.cy}
 	}
-	return geom.Point{X: iso.sx*p.X + iso.cx, Y: iso.sy*p.Y + iso.cy}
+	return geom.Point{X: int64(iso.sx)*p.X + iso.cx, Y: int64(iso.sy)*p.Y + iso.cy}
 }
 
 // Pin maps a pin index of instance A to the corresponding pin of B.

@@ -46,6 +46,8 @@ import (
 // Pareto-optimal topologies plus their precompiled coefficient solutions
 // (sols[i] == topos[i].Solution(n)). Both slices are immutable once the
 // entry is published in the table.
+//
+//patlint:shared published entries alias the table; lookups must not write them
 type entry struct {
 	topos []param.Topology
 	sols  []param.Solution
@@ -105,6 +107,8 @@ type paddedCount struct {
 // backends at publish time. Snapshots are never mutated after the atomic
 // pointer store — writers build a fresh one per mutation — so readers
 // can use one without synchronisation for as long as they hold it.
+//
+//patlint:shared lock-free readers hold snapshots without synchronisation
 type tableSnapshot struct {
 	entries map[string]entry
 	degrees map[int]bool
@@ -286,8 +290,13 @@ func (t *Table) generate(degree, workers, sample, shard, shardCount int) error {
 		pruned int
 		err    error
 	}
-	jobs := make(chan hanan.Pattern)
-	results := make(chan result)
+	// Both channels are buffered to their maximum occupancy so the
+	// early-return on r.err below cannot strand a worker (blocked sending
+	// a result nobody will read) or the feeder (blocked sending a job no
+	// worker will take): every send completes even after the consumer is
+	// gone, and the feeder goroutine runs to close(results) unconditionally.
+	jobs := make(chan hanan.Pattern, len(pats))
+	results := make(chan result, len(pats))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)

@@ -1,0 +1,56 @@
+package param
+
+import "math"
+
+// Checked int64 arithmetic for the parameterized-LUT layers. ROADMAP
+// item 3 (Lagrangian pricing) multiplies scaled edge prices, and the
+// enumeration fingerprint packs (W, D) pairs into one int64; both are
+// exactness-critical, so an overflow must panic loudly rather than wrap
+// into a plausible wrong value. The //patlint:checked annotation tells
+// the exactoverflow analyzer that results routed through these helpers
+// are safe.
+
+// MulCheck returns a*b, panicking if the product overflows int64.
+//
+//patlint:checked result is overflow-guarded (panics instead of wrapping)
+func MulCheck(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	// The division probe misses MinInt64 * -1: the product wraps back to
+	// MinInt64 and Go defines MinInt64 / -1 == MinInt64, so p/b == a.
+	if (a == math.MinInt64 && b == -1) || (a == -1 && b == math.MinInt64) {
+		panic("param: int64 multiplication overflow")
+	}
+	p := a * b //patlint:ignore exactoverflow this is the guard: the division below detects the wrap
+	if p/b != a {
+		panic("param: int64 multiplication overflow")
+	}
+	return p
+}
+
+// AddCheck returns a+b, panicking if the sum overflows int64.
+//
+//patlint:checked result is overflow-guarded (panics instead of wrapping)
+func AddCheck(a, b int64) int64 {
+	s := a + b
+	if (a >= 0) == (b >= 0) && (s >= 0) != (a >= 0) {
+		panic("param: int64 addition overflow")
+	}
+	return s
+}
+
+// ShiftCheck returns a<<k, panicking if the shift loses bits (including
+// the sign bit). k must be in [0, 63).
+//
+//patlint:checked result is overflow-guarded (panics instead of wrapping)
+func ShiftCheck(a int64, k uint) int64 {
+	if k >= 63 {
+		panic("param: shift count out of range")
+	}
+	s := a << k //patlint:ignore exactoverflow this is the guard: the shift back detects lost bits
+	if s>>k != a {
+		panic("param: int64 shift overflow")
+	}
+	return s
+}

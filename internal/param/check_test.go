@@ -1,0 +1,92 @@
+package param
+
+import (
+	"math"
+	"testing"
+)
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", name)
+		}
+	}()
+	f()
+}
+
+func TestMulCheck(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{0, math.MaxInt64, 0},
+		{math.MaxInt64, 0, 0},
+		{3, 7, 21},
+		{-3, 7, -21},
+		{math.MaxInt64 / 2, 2, math.MaxInt64 - 1},
+		{math.MinInt64, 1, math.MinInt64},
+	}
+	for _, c := range cases {
+		if got := MulCheck(c.a, c.b); got != c.want {
+			t.Errorf("MulCheck(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+	mustPanic(t, "MulCheck(max, 2)", func() { MulCheck(math.MaxInt64, 2) })
+	mustPanic(t, "MulCheck(min, -1)", func() { MulCheck(math.MinInt64, -1) })
+	mustPanic(t, "MulCheck(-1, min)", func() { MulCheck(-1, math.MinInt64) })
+	mustPanic(t, "MulCheck(1<<32, 1<<32)", func() { MulCheck(1<<32, 1<<32) })
+}
+
+func TestAddCheck(t *testing.T) {
+	if got := AddCheck(math.MaxInt64-1, 1); got != math.MaxInt64 {
+		t.Errorf("AddCheck = %d, want MaxInt64", got)
+	}
+	if got := AddCheck(math.MinInt64+1, -1); got != math.MinInt64 {
+		t.Errorf("AddCheck = %d, want MinInt64", got)
+	}
+	if got := AddCheck(-5, 7); got != 2 {
+		t.Errorf("AddCheck(-5, 7) = %d, want 2", got)
+	}
+	mustPanic(t, "AddCheck(max, 1)", func() { AddCheck(math.MaxInt64, 1) })
+	mustPanic(t, "AddCheck(min, -1)", func() { AddCheck(math.MinInt64, -1) })
+}
+
+func TestShiftCheck(t *testing.T) {
+	if got := ShiftCheck(5, 20); got != 5<<20 {
+		t.Errorf("ShiftCheck(5, 20) = %d", got)
+	}
+	if got := ShiftCheck(-3, 4); got != -48 {
+		t.Errorf("ShiftCheck(-3, 4) = %d", got)
+	}
+	if got := ShiftCheck(0, 62); got != 0 {
+		t.Errorf("ShiftCheck(0, 62) = %d", got)
+	}
+	mustPanic(t, "ShiftCheck(1<<44, 20)", func() { ShiftCheck(1<<44, 20) })
+	mustPanic(t, "ShiftCheck(1, 63)", func() { ShiftCheck(1, 63) })
+}
+
+// TestFingerprintOverflowSentinel pins the conservative fallback of the
+// enumeration fingerprint: a (w, d) pair outside the packing range
+// degrades the probe to fpOverflow, and fpMayPrune treats such probes as
+// inconclusive — never filtering, so the exact Prunes check still
+// decides.
+func TestFingerprintOverflowSentinel(t *testing.T) {
+	inRange := [nFP]int64{1<<fpShift | 2, 3<<fpShift | 1}
+	bigger := [nFP]int64{2<<fpShift | 3, 4<<fpShift | 2}
+	over := inRange
+	over[1] = fpOverflow
+	if !fpMayPrune(inRange, bigger) {
+		t.Error("in-range probes: smaller must stay a may-prune candidate")
+	}
+	if fpMayPrune(bigger, inRange) {
+		t.Error("in-range probes: larger w/d must rule pruning out")
+	}
+	if !fpMayPrune(over, inRange) || !fpMayPrune(inRange, over) {
+		t.Error("an fpOverflow probe must be inconclusive in both directions")
+	}
+	// The remaining probes still decide: with the overflowed probe
+	// inconclusive, probe 0 of `bigger` vs `inRange` still rules out.
+	overBig := bigger
+	overBig[1] = fpOverflow
+	if fpMayPrune(overBig, inRange) {
+		t.Error("non-overflowed probes must still rule pruning out")
+	}
+}

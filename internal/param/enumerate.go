@@ -185,6 +185,18 @@ func (e *enum) buildProbes() {
 	}
 }
 
+// Fingerprint packing layout: w in the high bits, d in the low fpShift
+// bits. Probe weights are small (≤ 15) so both values fit comfortably at
+// every supported degree; if a future degree pushes one out of range the
+// probe degrades to the fpOverflow sentinel, which never filters, so the
+// exact Prunes check still decides and results stay identical.
+const (
+	fpShift    = 20
+	fpMask     = 1<<fpShift - 1
+	fpMaxW     = 1<<(63-fpShift) - 1
+	fpOverflow = -1 // packing out of range: probe is inconclusive
+)
+
 func (e *enum) fingerprint(s Solution) [nFP]int64 {
 	var fp [nFP]int64
 	for f := 0; f < nFP; f++ {
@@ -193,17 +205,25 @@ func (e *enum) fingerprint(s Solution) [nFP]int64 {
 		sol := s.Eval(h, v)
 		// Pack (w,d) into a single comparable pair per probe: keep w in
 		// the fingerprint and d in the second slot via separate probes.
-		fp[f] = sol.W<<20 | sol.D // both small for probe weights
+		if sol.W < 0 || sol.W > fpMaxW || sol.D < 0 || sol.D > fpMask {
+			fp[f] = fpOverflow
+			continue
+		}
+		fp[f] = ShiftCheck(sol.W, fpShift) | sol.D
 	}
 	return fp
 }
 
 // fpMayPrune is a necessary condition for a.Prunes(b): on every probe,
-// a's w and d must not exceed b's.
+// a's w and d must not exceed b's. An fpOverflow probe is inconclusive
+// and never rules pruning out.
 func fpMayPrune(a, b [nFP]int64) bool {
 	for f := 0; f < nFP; f++ {
-		aw, ad := a[f]>>20, a[f]&((1<<20)-1)
-		bw, bd := b[f]>>20, b[f]&((1<<20)-1)
+		if a[f] == fpOverflow || b[f] == fpOverflow {
+			continue
+		}
+		aw, ad := a[f]>>fpShift, a[f]&fpMask
+		bw, bd := b[f]>>fpShift, b[f]&fpMask
 		if aw > bw || ad > bd {
 			return false
 		}

@@ -1,0 +1,124 @@
+package patlint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"slices"
+	"strings"
+)
+
+// JSONDiagnostic is the machine-readable form of one finding, with the
+// file path relative to the module root so output is stable across
+// checkouts. Arrays are emitted in the canonical (file, line, column,
+// rule) order.
+type JSONDiagnostic struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+}
+
+// ToJSON converts sorted diagnostics to their machine-readable form.
+func ToJSON(root string, diags []Diagnostic) []JSONDiagnostic {
+	out := make([]JSONDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, JSONDiagnostic{
+			File: relTo(root, d.Pos.Filename),
+			Line: d.Pos.Line,
+			Rule: d.Rule,
+			Msg:  d.Msg,
+		})
+	}
+	return out
+}
+
+// BaselineEntry is one grandfathered finding. Entries carry no line
+// number: a baseline must survive unrelated edits above the finding, so
+// matching is by (file, rule, msg) as a multiset.
+type BaselineEntry struct {
+	File string `json:"file"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+}
+
+// BaselineOf converts findings to baseline entries in sorted order.
+func BaselineOf(root string, diags []Diagnostic) []BaselineEntry {
+	out := make([]BaselineEntry, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, BaselineEntry{File: relTo(root, d.Pos.Filename), Rule: d.Rule, Msg: d.Msg})
+	}
+	slices.SortFunc(out, func(a, b BaselineEntry) int {
+		if c := strings.Compare(a.File, b.File); c != 0 {
+			return c
+		}
+		if c := strings.Compare(a.Rule, b.Rule); c != 0 {
+			return c
+		}
+		return strings.Compare(a.Msg, b.Msg)
+	})
+	return out
+}
+
+// LoadBaseline reads a baseline file (a JSON array of entries).
+func LoadBaseline(path string) ([]BaselineEntry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []BaselineEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("patlint: baseline %s: %w", path, err)
+	}
+	return entries, nil
+}
+
+// SaveBaseline writes entries as an indented JSON array (an empty
+// baseline is the literal "[]", the preferred steady state).
+func SaveBaseline(path string, entries []BaselineEntry) error {
+	if entries == nil {
+		entries = []BaselineEntry{}
+	}
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ApplyBaseline subtracts the baseline from the findings as a multiset:
+// each entry forgives at most one matching finding. It returns the
+// surviving (new) findings and the stale entries that matched nothing —
+// stale entries mean the underlying finding was fixed and the baseline
+// should be regenerated.
+func ApplyBaseline(root string, diags []Diagnostic, base []BaselineEntry) (kept []Diagnostic, stale []BaselineEntry) {
+	budget := make(map[BaselineEntry]int, len(base))
+	for _, e := range base {
+		budget[e]++
+	}
+	kept = make([]Diagnostic, 0, len(diags))
+	for _, d := range diags {
+		e := BaselineEntry{File: relTo(root, d.Pos.Filename), Rule: d.Rule, Msg: d.Msg}
+		if budget[e] > 0 {
+			budget[e]--
+			continue
+		}
+		kept = append(kept, d)
+	}
+	for _, e := range base {
+		if budget[e] > 0 {
+			budget[e]--
+			stale = append(stale, e)
+		}
+	}
+	return kept, stale
+}
+
+// relTo makes an absolute file path root-relative (the identity for
+// paths outside root).
+func relTo(root, file string) string {
+	if rel, ok := strings.CutPrefix(file, root+"/"); ok {
+		return rel
+	}
+	return file
+}

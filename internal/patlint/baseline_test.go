@@ -1,0 +1,61 @@
+package patlint_test
+
+import (
+	"go/token"
+	"path/filepath"
+	"testing"
+
+	"patlabor/internal/patlint"
+)
+
+func diag(root, file string, line int, rule, msg string) patlint.Diagnostic {
+	return patlint.Diagnostic{
+		Pos:  token.Position{Filename: filepath.Join(root, file), Line: line},
+		Rule: rule,
+		Msg:  msg,
+	}
+}
+
+// TestBaselineRoundTrip pins the grandfathering semantics: entries match
+// by (file, rule, msg) as a multiset — line drift is forgiven, new
+// findings are not, and entries whose finding disappeared surface as
+// stale.
+func TestBaselineRoundTrip(t *testing.T) {
+	const root = "/repo"
+	old := []patlint.Diagnostic{
+		diag(root, "internal/a/a.go", 10, "exact", "use of float64"),
+		diag(root, "internal/a/a.go", 20, "exact", "use of float64"),
+		diag(root, "internal/b/b.go", 5, "goleak", "no exit path"),
+	}
+	base := patlint.BaselineOf(root, old)
+	if len(base) != 3 {
+		t.Fatalf("baseline has %d entries, want 3", len(base))
+	}
+
+	// Same findings at different lines: all forgiven, nothing stale.
+	moved := []patlint.Diagnostic{
+		diag(root, "internal/a/a.go", 11, "exact", "use of float64"),
+		diag(root, "internal/a/a.go", 99, "exact", "use of float64"),
+		diag(root, "internal/b/b.go", 6, "goleak", "no exit path"),
+	}
+	kept, stale := patlint.ApplyBaseline(root, moved, base)
+	if len(kept) != 0 || len(stale) != 0 {
+		t.Fatalf("moved findings: kept=%d stale=%d, want 0/0", len(kept), len(stale))
+	}
+
+	// A third duplicate exceeds the multiset budget; a novel finding is
+	// never forgiven; fixing one duplicate leaves a stale entry.
+	next := []patlint.Diagnostic{
+		diag(root, "internal/a/a.go", 10, "exact", "use of float64"),
+		diag(root, "internal/a/a.go", 20, "exact", "use of float64"),
+		diag(root, "internal/a/a.go", 30, "exact", "use of float64"),
+		diag(root, "internal/c/c.go", 1, "sharedmut", "write to cache-owned data"),
+	}
+	kept, stale = patlint.ApplyBaseline(root, next, base)
+	if len(kept) != 2 {
+		t.Fatalf("kept %d findings, want 2 (the extra duplicate and the novel one)", len(kept))
+	}
+	if len(stale) != 1 || stale[0].Rule != "goleak" {
+		t.Fatalf("stale = %v, want the fixed goleak entry", stale)
+	}
+}

@@ -1,0 +1,143 @@
+package patlint_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"patlabor/internal/patlint"
+)
+
+// wantRe matches an expected-diagnostic marker in a corpus fixture:
+// `want(rule): message substring`, usually in a trailing comment on the
+// offending line.
+var wantRe = regexp.MustCompile(`want\((\w+)\): (.+?)\s*$`)
+
+type wantMark struct {
+	file    string
+	line    int
+	rule    string
+	substr  string
+	matched bool
+}
+
+// TestAnalyzerCorpus runs the full analyzer suite over each
+// interprocedural-analyzer corpus and requires an exact match between
+// findings and `want(rule):` markers: every marker must produce its
+// finding (true positives) and every finding must have a marker — which
+// makes the marker-free good.go of each corpus a must-not-flag case.
+func TestAnalyzerCorpus(t *testing.T) {
+	l, err := loader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dir := range []string{"sharedmut", "cancelloop", "goleak", "exactoverflow", "staleignore"} {
+		t.Run(dir, func(t *testing.T) {
+			fixDir := filepath.Join("testdata", dir)
+			entries, err := os.ReadDir(fixDir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wants []*wantMark
+			sawGood := false
+			for _, ent := range entries {
+				if !strings.HasSuffix(ent.Name(), ".go") {
+					continue
+				}
+				if ent.Name() == "good.go" {
+					sawGood = true
+				}
+				data, err := os.ReadFile(filepath.Join(fixDir, ent.Name()))
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, text := range strings.Split(string(data), "\n") {
+					if m := wantRe.FindStringSubmatch(text); m != nil {
+						wants = append(wants, &wantMark{
+							file:   ent.Name(),
+							line:   i + 1,
+							rule:   m[1],
+							substr: strings.TrimSpace(m[2]),
+						})
+					}
+				}
+			}
+			if len(wants) == 0 {
+				t.Fatalf("corpus %s has no want markers", dir)
+			}
+			if !sawGood && dir != "staleignore" {
+				t.Fatalf("corpus %s has no good.go must-not-flag file", dir)
+			}
+			diags, err := patlint.Check(l, []string{"internal/patlint/testdata/" + dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range diags {
+				base := filepath.Base(d.Pos.Filename)
+				matched := false
+				for _, w := range wants {
+					if !w.matched && w.file == base && w.line == d.Pos.Line &&
+						w.rule == d.Rule && strings.Contains(d.Msg, w.substr) {
+						w.matched = true
+						matched = true
+						break
+					}
+				}
+				if !matched {
+					t.Errorf("unexpected finding: %s", d.Format(l.Root))
+				}
+			}
+			for _, w := range wants {
+				if !w.matched {
+					t.Errorf("missing finding: %s:%d: patlint(%s) matching %q", w.file, w.line, w.rule, w.substr)
+				}
+			}
+		})
+	}
+}
+
+// TestRuleSelection pins the -rules surface: a restricted run reports
+// only the selected rule's findings, and unknown names are load errors
+// listing the catalog.
+func TestRuleSelection(t *testing.T) {
+	l, err := loader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := patlint.CheckRules(l, []string{"internal/patlint/testdata/exactoverflow"}, []string{patlint.RuleOverflow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("restricted run produced no exactoverflow findings")
+	}
+	for _, d := range diags {
+		if d.Rule != patlint.RuleOverflow {
+			t.Errorf("restricted run leaked rule %s", d.Rule)
+		}
+	}
+	if _, err := patlint.CheckRules(l, []string{"./..."}, []string{"nosuchrule"}); err == nil {
+		t.Fatal("unknown rule did not error")
+	} else if !strings.Contains(err.Error(), patlint.RuleSharedMut) {
+		t.Errorf("unknown-rule error does not list the catalog: %v", err)
+	}
+}
+
+// TestRegistryCatalog pins that the four interprocedural analyzers are
+// registered and enabled by default.
+func TestRegistryCatalog(t *testing.T) {
+	rules := strings.Join(patlint.Rules(), ",")
+	for _, want := range []string{
+		patlint.RuleSharedMut, patlint.RuleCancelLoop, patlint.RuleGoLeak, patlint.RuleOverflow,
+	} {
+		if !strings.Contains(rules, want) {
+			t.Errorf("rule %s not registered (have: %s)", want, rules)
+		}
+	}
+	if len(patlint.Docs()) != len(patlint.Rules())-1 {
+		t.Errorf("Docs()/Rules() length mismatch: %d vs %d (ignore meta-rule has no analyzer)",
+			len(patlint.Docs()), len(patlint.Rules()))
+	}
+}

@@ -7,8 +7,8 @@ import (
 	"go/types"
 )
 
-// checkCtx enforces the context-propagation discipline of the routing
-// packages (PR 3 threaded ctx at iteration granularity):
+// The ctx rules enforce the context-propagation discipline of the
+// routing packages (PR 3 threaded ctx at iteration granularity):
 //
 //   - ctxbg: a function that accepts a context.Context must not call
 //     context.Background() or context.TODO(). Manufacturing a fresh root
@@ -21,20 +21,35 @@ import (
 //     the loop body, or an enclosing loop's body, must use the ctx
 //     parameter (ctx.Err(), or passing ctx onward). A cancelled batch
 //     must stop between iterations, not run a degree-9 DP to completion.
-func checkCtx(p *Package, report func(token.Pos, string, string)) {
-	info := p.Info
+
+// checkCtxBg2 is the ctxbg analyzer entry point.
+func checkCtxBg2(p *Pass) {
+	eachCtxFunc(p.Pkg, func(fd *ast.FuncDecl, ctxParams []types.Object) {
+		checkCtxBg(p.Pkg.Info, fd, p.report)
+	})
+}
+
+// checkCtxLoop2 is the ctxloop analyzer entry point.
+func checkCtxLoop2(p *Pass) {
+	eachCtxFunc(p.Pkg, func(fd *ast.FuncDecl, ctxParams []types.Object) {
+		checkCtxLoops(p.Pkg.Info, fd, ctxParams, p.report)
+	})
+}
+
+// eachCtxFunc invokes fn on every declared function of the package that
+// takes a context.Context parameter.
+func eachCtxFunc(p *Package, fn func(*ast.FuncDecl, []types.Object)) {
 	for _, f := range p.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
 				continue
 			}
-			ctxParams := contextParams(info, fd)
+			ctxParams := contextParams(p.Info, fd)
 			if len(ctxParams) == 0 {
 				continue
 			}
-			checkCtxBg(info, fd, report)
-			checkCtxLoops(info, fd, ctxParams, report)
+			fn(fd, ctxParams)
 		}
 	}
 }

@@ -1,0 +1,520 @@
+package patlint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Annotation markers, written in the doc comment of a declaration:
+//
+//	//patlint:shared <why>   — on a func: its results alias cache-owned
+//	                           data and must never be mutated by callers;
+//	                           on a type: every value of the type is
+//	                           cache-owned (its fields alias shared state).
+//	//patlint:checked <why>  — on a func: its int64 results are
+//	                           overflow-guarded (panics rather than
+//	                           wrapping), so exactoverflow treats calls
+//	                           to it as safe.
+const (
+	sharedMarker  = "//patlint:shared"
+	checkedMarker = "//patlint:checked"
+)
+
+// Facts are the module-wide call-graph summaries the interprocedural
+// analyzers consume. They are built once per Check, package by package in
+// dependency order, so by the time an analyzer sees a package every
+// callee it can name — same package or an import — already has its
+// summary. Within a package the collector iterates to a fixpoint, so
+// mutual recursion and declaration order do not matter.
+type Facts struct {
+	// shared marks *types.Func objects whose results are cache-owned
+	// (annotation-seeded, then propagated: a function returning a shared
+	// value is itself shared) and *types.TypeName objects whose values
+	// are cache-owned wherever they appear.
+	shared map[types.Object]bool
+	// checked marks functions whose int64 results are overflow-guarded
+	// (param.MulCheck and friends); exactoverflow treats their calls as
+	// bounded.
+	checked map[types.Object]bool
+	// mutRecv marks methods that write through their receiver into
+	// caller-visible memory (pointer receiver field/element writes, or
+	// element writes through a value receiver's slice/map fields).
+	mutRecv map[types.Object]bool
+	// mutParam records, per function, a bitmask of parameters the body
+	// writes through into caller-visible memory.
+	mutParam map[types.Object]uint64
+	// ctxWork marks functions that are cancellable work: they take a
+	// context.Context, or transitively call something that does. The
+	// cancelloop analyzer flags unchecked loops over the no-ctx-param
+	// members of this set.
+	ctxWork map[types.Object]bool
+	// goUnsafe marks functions that are unsafe to launch bare with `go`:
+	// they loop but reference no context and perform no channel
+	// operation, so nothing external can ever stop them.
+	goUnsafe map[types.Object]bool
+}
+
+func newFacts() *Facts {
+	return &Facts{
+		shared:   make(map[types.Object]bool),
+		checked:  make(map[types.Object]bool),
+		mutRecv:  make(map[types.Object]bool),
+		mutParam: make(map[types.Object]uint64),
+		ctxWork:  make(map[types.Object]bool),
+		goUnsafe: make(map[types.Object]bool),
+	}
+}
+
+// hasMarker reports whether any comment group of the declaration carries
+// the marker directive.
+func hasMarker(docs []*ast.CommentGroup, marker string) bool {
+	for _, doc := range docs {
+		if doc == nil {
+			continue
+		}
+		for _, c := range doc.List {
+			if rest, ok := strings.CutPrefix(c.Text, marker); ok {
+				// Exact-word match: "//patlint:sharedX" is not a marker.
+				if rest == "" || rest[0] == ' ' || rest[0] == '\t' {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// collect computes p's contribution to the fact tables. Dependencies of p
+// have already been collected (Load returns packages topologically
+// sorted), so cross-package calls resolve against final summaries; the
+// inner loop reruns the package until its own tables stop growing.
+func (f *Facts) collect(p *Package) {
+	info := p.Info
+	// Pass 1: annotation seeds.
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				obj := info.Defs[d.Name]
+				if obj == nil {
+					continue
+				}
+				if hasMarker([]*ast.CommentGroup{d.Doc}, sharedMarker) {
+					f.shared[obj] = true
+				}
+				if hasMarker([]*ast.CommentGroup{d.Doc}, checkedMarker) {
+					f.checked[obj] = true
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					if hasMarker([]*ast.CommentGroup{d.Doc, ts.Doc, ts.Comment}, sharedMarker) {
+						if obj := info.Defs[ts.Name]; obj != nil {
+							f.shared[obj] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	// Pass 2: per-function summaries, to a fixpoint over the package.
+	for changed := true; changed; {
+		changed = false
+		for _, file := range p.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj := info.Defs[fd.Name]
+				if obj == nil {
+					continue
+				}
+				if f.collectFunc(info, fd, obj) {
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// collectFunc updates the summaries of one function, reporting whether
+// anything new was learned.
+func (f *Facts) collectFunc(info *types.Info, fd *ast.FuncDecl, obj types.Object) bool {
+	changed := false
+	if !f.ctxWork[obj] && f.funcIsCtxWork(info, fd) {
+		f.ctxWork[obj] = true
+		changed = true
+	}
+	if !f.goUnsafe[obj] && funcIsGoUnsafe(info, fd) {
+		f.goUnsafe[obj] = true
+		changed = true
+	}
+	if mask, recv := f.funcMutations(info, fd); true {
+		if recv && !f.mutRecv[obj] {
+			f.mutRecv[obj] = true
+			changed = true
+		}
+		if old := f.mutParam[obj]; mask|old != old {
+			f.mutParam[obj] = mask | old
+			changed = true
+		}
+	}
+	if !f.shared[obj] && f.funcReturnsShared(info, fd) {
+		f.shared[obj] = true
+		changed = true
+	}
+	return changed
+}
+
+// funcIsCtxWork reports whether fd takes a context.Context or calls (in
+// its own body — closures excluded, their call sites are unknown) a
+// function that is already known to be ctx work.
+func (f *Facts) funcIsCtxWork(info *types.Info, fd *ast.FuncDecl) bool {
+	if len(contextParams(info, fd)) > 0 {
+		return true
+	}
+	work := false
+	inspectOutsideFuncLits(fd.Body, func(n ast.Node) bool {
+		if work {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if callee := calleeObj(info, call); callee != nil {
+			if f.ctxWork[callee] || signatureTakesContext(callee) {
+				work = true
+				return false
+			}
+		}
+		return true
+	})
+	return work
+}
+
+// signatureTakesContext reports whether obj is a function with a
+// context.Context parameter — the cross-module fallback when no fact was
+// collected (standard library, closures behind variables).
+func signatureTakesContext(obj types.Object) bool {
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContextType(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// funcIsGoUnsafe reports whether launching fd in a bare goroutine could
+// leak it: the body loops, but references no context.Context value and
+// performs no channel operation, so no external signal can stop it.
+func funcIsGoUnsafe(info *types.Info, fd *ast.FuncDecl) bool {
+	return bodyIsGoUnsafe(info, fd.Body)
+}
+
+// bodyIsGoUnsafe is funcIsGoUnsafe over any function body (used for both
+// declarations, via facts, and for go'd function literals directly).
+func bodyIsGoUnsafe(info *types.Info, body *ast.BlockStmt) bool {
+	if body == nil {
+		return false
+	}
+	hasLoop, hasExit := false, false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if hasExit {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			hasLoop = true
+		case *ast.RangeStmt:
+			// Ranging over a channel is itself an exit path: the loop
+			// ends when the channel closes.
+			if tv, ok := info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					hasExit = true
+					return false
+				}
+			}
+			hasLoop = true
+		case *ast.SendStmt, *ast.SelectStmt:
+			hasExit = true
+			return false
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				hasExit = true
+				return false
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					hasExit = true
+					return false
+				}
+			}
+		case *ast.Ident:
+			if obj := info.Uses[n]; obj != nil && isContextType(obj.Type()) {
+				hasExit = true
+				return false
+			}
+		}
+		return true
+	})
+	return hasLoop && !hasExit
+}
+
+// funcMutations computes which caller-visible memory fd writes through:
+// a bitmask over its parameters and whether it writes through its
+// receiver. A write counts when it reaches memory the caller can see:
+// any element/pointee write (slice index, map index, pointer deref), or
+// a field write when the root is a pointer. Writes to a value-typed
+// local's own fields stay local and do not count.
+func (f *Facts) funcMutations(info *types.Info, fd *ast.FuncDecl) (mask uint64, recv bool) {
+	roots := make(map[types.Object]int) // object -> param index, or -1 for receiver
+	if fd.Recv != nil {
+		for _, field := range fd.Recv.List {
+			for _, name := range field.Names {
+				if obj := info.Defs[name]; obj != nil {
+					roots[obj] = -1
+				}
+			}
+		}
+	}
+	idx := 0
+	for _, field := range fd.Type.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			idx++
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := info.Defs[name]; obj != nil {
+				roots[obj] = idx
+			}
+			idx++
+		}
+	}
+	note := func(obj types.Object) {
+		i, ok := roots[obj]
+		if !ok {
+			return
+		}
+		if i < 0 {
+			recv = true
+		} else if i < 64 {
+			mask |= 1 << i
+		}
+	}
+	noteLValue := func(e ast.Expr) {
+		if root, visible := visibleWriteRoot(info, e); visible {
+			if obj := useOrDef(info, root); obj != nil {
+				note(obj)
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				noteLValue(lhs)
+			}
+			for _, rhs := range n.Rhs {
+				if call, ok := rhs.(*ast.CallExpr); ok && isBuiltinAppend(info, call) && len(call.Args) > 0 {
+					// x = append(x, ...) may write into x's existing
+					// backing array; treat the first operand as written.
+					if root := rootIdent(call.Args[0]); root != nil {
+						if obj := useOrDef(info, root); obj != nil {
+							note(obj)
+						}
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			noteLValue(n.X)
+		case *ast.CallExpr:
+			f.noteCallMutations(info, n, func(e ast.Expr) {
+				if root := rootIdent(e); root != nil {
+					if obj := useOrDef(info, root); obj != nil {
+						note(obj)
+					}
+				}
+			})
+		}
+		return true
+	})
+	return mask, recv
+}
+
+// noteCallMutations invokes written for every argument (or receiver) of
+// the call that the callee is known to write through: the builtins copy/
+// delete/clear, the sort/slices mutators, module functions with mutParam
+// facts, and mutRecv methods.
+func (f *Facts) noteCallMutations(info *types.Info, call *ast.CallExpr, written func(ast.Expr)) {
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "copy", "delete", "clear":
+				if len(call.Args) > 0 {
+					written(call.Args[0])
+				}
+			}
+			return
+		}
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if pkg := pkgNameOf(info, sel.X); pkg == "sort" || pkg == "slices" {
+			if len(call.Args) > 0 && stdSortMutates(sel.Sel.Name) {
+				written(call.Args[0])
+			}
+			return
+		}
+	}
+	callee := calleeObj(info, call)
+	if callee == nil {
+		return
+	}
+	if f.mutRecv[callee] {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			written(sel.X)
+		}
+	}
+	if mask := f.mutParam[callee]; mask != 0 {
+		for i, arg := range call.Args {
+			if i < 64 && mask&(1<<i) != 0 {
+				written(arg)
+			}
+		}
+	}
+}
+
+// stdSortMutates reports whether the named sort/slices function writes
+// through its first argument.
+func stdSortMutates(name string) bool {
+	switch name {
+	case "Sort", "SortFunc", "SortStableFunc", "Stable", "Slice", "SliceStable",
+		"Reverse", "Delete", "DeleteFunc", "Insert", "Compact", "CompactFunc", "Replace":
+		return true
+	}
+	return false
+}
+
+// funcReturnsShared reports whether fd can return a value tainted as
+// shared, which makes fd itself a shared-returning function.
+func (f *Facts) funcReturnsShared(info *types.Info, fd *ast.FuncDecl) bool {
+	tt := newTaintTracker(info, f)
+	tt.scan(fd)
+	shared := false
+	inspectOutsideFuncLits(fd.Body, func(n ast.Node) bool {
+		if shared {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if tt.tainted(res) {
+				shared = true
+				return false
+			}
+		}
+		return true
+	})
+	return shared
+}
+
+// calleeObj resolves the callee of a call expression to its object, or
+// nil (function values, conversions).
+func calleeObj(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if obj, ok := info.Uses[fun].(*types.Func); ok {
+			return obj
+		}
+	case *ast.SelectorExpr:
+		if obj, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return obj
+		}
+	}
+	return nil
+}
+
+// useOrDef resolves an identifier to its object whether it is a use or
+// its defining occurrence.
+func useOrDef(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// visibleWriteRoot analyzes an lvalue and reports whether assigning to it
+// writes memory visible outside the root variable: the write passes
+// through a pointer deref, a slice element or a map element — or the
+// root itself is a pointer, making even direct field writes external.
+// Writes into a value-typed variable's own fields or array elements stay
+// local. Returns the root identifier when visible.
+func visibleWriteRoot(info *types.Info, e ast.Expr) (*ast.Ident, bool) {
+	viaRef := false
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			if viaRef {
+				return v, true
+			}
+			if tv, ok := info.Types[v]; ok {
+				if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+					return v, true
+				}
+			}
+			return v, false
+		case *ast.SelectorExpr:
+			// Selecting through a pointer dereferences implicitly.
+			if tv, ok := info.Types[v.X]; ok {
+				if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+					viaRef = true
+				}
+			}
+			e = v.X
+		case *ast.IndexExpr:
+			if tv, ok := info.Types[v.X]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					viaRef = true
+				}
+			}
+			e = v.X
+		case *ast.StarExpr:
+			viaRef = true
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return nil, false
+		}
+	}
+}
+
+// inspectOutsideFuncLits walks n like ast.Inspect but does not descend
+// into function literals (their execution context differs from the
+// enclosing function's).
+func inspectOutsideFuncLits(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		if m == nil {
+			return true
+		}
+		return fn(m)
+	})
+}

@@ -1,0 +1,144 @@
+package patlint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// checkGoLeak flags two goroutine-leak shapes that the PR 9 scalability
+// harness can only catch statistically:
+//
+//   - a `go` statement launching a function with no exit path: the body
+//     loops, but references no context.Context and performs no channel
+//     operation, so nothing external can ever stop it. For `go f(...)`
+//     the verdict comes from the goUnsafe fact (computed bottom-up, so
+//     cross-package launches resolve); for `go func(){...}()` the
+//     literal's body is analyzed directly.
+//   - a send on a locally made unbuffered channel outside a select: if
+//     the consumer returns early (the classic `for r := range results {
+//     if r.err != nil { return } }`), the sender blocks forever. Buffer
+//     the channel to its maximum occupancy or select on a done signal.
+func checkGoLeak(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkGoStmts(p, info, fd)
+			checkUnbufferedSends(p, info, fd)
+		}
+	}
+}
+
+// checkGoStmts flags go statements whose launched function cannot be
+// stopped.
+func checkGoStmts(p *Pass, info *types.Info, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		switch fun := ast.Unparen(gs.Call.Fun).(type) {
+		case *ast.FuncLit:
+			if bodyIsGoUnsafe(info, fun.Body) {
+				p.Report(gs.Pos(),
+					"goroutine loops with no exit path (no ctx reference, no channel operation); nothing can ever stop it")
+			}
+		default:
+			if callee := calleeObj(info, gs.Call); callee != nil && p.Facts.goUnsafe[callee] {
+				p.Reportf(gs.Pos(),
+					"goroutine %s loops with no exit path (no ctx reference, no channel operation); nothing can ever stop it",
+					callee.Name())
+			}
+		}
+		return true
+	})
+}
+
+// checkUnbufferedSends flags bare sends on channels made unbuffered in
+// this function. Closures are scanned too: the worker-pool idiom makes
+// the channel in the parent and sends from a `go func(){...}()`.
+func checkUnbufferedSends(p *Pass, info *types.Info, fd *ast.FuncDecl) {
+	// Channels made without a capacity argument in this function.
+	unbuffered := make(map[types.Object]bool)
+	noteMake := func(lhs ast.Expr, rhs ast.Expr) {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "make" {
+			return
+		}
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+			return
+		}
+		tv, ok := info.Types[call]
+		if !ok {
+			return
+		}
+		if _, isChan := tv.Type.Underlying().(*types.Chan); !isChan {
+			return
+		}
+		if target, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+			if obj := useOrDef(info, target); obj != nil {
+				unbuffered[obj] = true
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Rhs {
+					noteMake(n.Lhs[i], n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			for i, v := range n.Values {
+				if i < len(n.Names) {
+					noteMake(n.Names[i], v)
+				}
+			}
+		}
+		return true
+	})
+	if len(unbuffered) == 0 {
+		return
+	}
+	// Sends that are a select comm clause are cancellable; anything else
+	// on an unbuffered local channel can strand its goroutine.
+	inSelect := make(map[*ast.SendStmt]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, clause := range sel.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				if send, ok := cc.Comm.(*ast.SendStmt); ok {
+					inSelect[send] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		send, ok := n.(*ast.SendStmt)
+		if !ok || inSelect[send] {
+			return true
+		}
+		root := rootIdent(send.Chan)
+		if root == nil {
+			return true
+		}
+		if obj := useOrDef(info, root); obj != nil && unbuffered[obj] {
+			p.Reportf(send.Pos(),
+				"send on unbuffered channel %q outside a select: an abandoned receiver strands this goroutine forever (buffer to maximum occupancy or select on a done signal)",
+				root.Name)
+		}
+		return true
+	})
+}

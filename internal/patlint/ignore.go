@@ -1,6 +1,7 @@
 package patlint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"strings"
@@ -29,9 +30,10 @@ type span struct {
 
 // fileIgnores indexes the directives of one file.
 type fileIgnores struct {
-	byLine map[int][]string // line -> suppressed rules
-	spans  []span
-	bad    []directive // directives missing a reason
+	byLine  map[int][]string // line -> suppressed rules
+	spans   []span
+	bad     []directive // directives missing a reason
+	unknown []directive // directives naming a rule that does not exist
 }
 
 // collectIgnores parses every `//patlint:ignore` comment of the file.
@@ -54,6 +56,13 @@ func collectIgnores(fset *token.FileSet, f *ast.File) *fileIgnores {
 			if d.rule == "" || d.reason == "" {
 				fi.bad = append(fi.bad, d)
 				continue
+			}
+			// A directive naming a rule that no longer exists suppresses
+			// nothing; left in place it rots into misleading documentation,
+			// so it is a finding in its own right (and still recorded, so
+			// the author's intent is preserved until fixed).
+			if !knownRule(d.rule) {
+				fi.unknown = append(fi.unknown, d)
 			}
 			fi.byLine[d.line] = append(fi.byLine[d.line], d.rule)
 		}
@@ -124,6 +133,13 @@ func applyIgnores(fset *token.FileSet, p *Package, diags []Diagnostic) []Diagnos
 				Pos:  fset.Position(d.pos),
 				Rule: RuleIgnore,
 				Msg:  "ignore directive needs a rule and a reason: //patlint:ignore <rule> <reason>",
+			})
+		}
+		for _, d := range fi.unknown {
+			out = append(out, Diagnostic{
+				Pos:  fset.Position(d.pos),
+				Rule: RuleIgnore,
+				Msg:  fmt.Sprintf("ignore directive names unknown rule %q (known: %s)", d.rule, strings.Join(Rules(), ", ")),
 			})
 		}
 	}

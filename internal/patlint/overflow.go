@@ -1,0 +1,216 @@
+package patlint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// checkOverflow is the exact-arithmetic overflow analyzer. The exactness
+// contract says every wirelength, delay and dominance test is exact
+// int64 — which silently stops being true the moment an intermediate
+// product or sum wraps. The analyzer flags the three shapes where the
+// repo multiplies its int64 domain values (LUT coefficients, scaled
+// prices, packed fingerprints):
+//
+//   - x * y where dataflow can bound neither operand;
+//   - x << k where x is unbounded (or bounded but the constant shift
+//     exceeds 31 bits);
+//   - acc += f(...) inside a loop where the call result is unbounded —
+//     the sum grows with iteration count, which no local inspection
+//     bounds.
+//
+// "Bounded" is a deliberately small lattice: constants, conversions from
+// ≤32-bit types, calls to `//patlint:checked` helpers (param.MulCheck
+// and friends, which panic instead of wrapping), and the magnitude-
+// shrinking operators (%, &, >>) over bounded operands. One bounded
+// operand clears a multiply: a 32-bit coefficient times a domain value
+// fits int64 whenever the domain value itself is in range, which is the
+// invariant the rest of the module already maintains.
+func checkOverflow(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkOverflowOps(p, info, fd.Body)
+			checkOverflowAccum(p, info, fd.Body)
+		}
+	}
+}
+
+// checkOverflowOps flags unbounded multiplies and shifts anywhere in the
+// body (closures included).
+func checkOverflowOps(p *Pass, info *types.Info, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if tv, ok := info.Types[n]; !ok || tv.Value != nil || !isInt64Kind(tv.Type) {
+				return true
+			}
+			switch n.Op {
+			case token.MUL:
+				if !boundedExpr(info, p.Facts, n.X) && !boundedExpr(info, p.Facts, n.Y) {
+					p.Reportf(n.OpPos,
+						"int64 multiply of two unbounded values %q (may wrap silently; use param.MulCheck or bound an operand)",
+						types.ExprString(n))
+				}
+			case token.SHL:
+				if shiftOverflows(info, p.Facts, n.X, n.Y) {
+					p.Reportf(n.OpPos,
+						"left shift of unbounded int64 %q (may wrap silently; use param.ShiftCheck or bound the operand)",
+						types.ExprString(n))
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+				return true
+			}
+			lhs, rhs := n.Lhs[0], n.Rhs[0]
+			if tv, ok := info.Types[lhs]; !ok || !isInt64Kind(tv.Type) {
+				return true
+			}
+			switch n.Tok {
+			case token.MUL_ASSIGN:
+				if !boundedExpr(info, p.Facts, lhs) && !boundedExpr(info, p.Facts, rhs) {
+					p.Reportf(n.TokPos,
+						"int64 *= of two unbounded values (may wrap silently; use param.MulCheck or bound an operand)")
+				}
+			case token.SHL_ASSIGN:
+				if shiftOverflows(info, p.Facts, lhs, rhs) {
+					p.Reportf(n.TokPos,
+						"int64 <<= of an unbounded value (may wrap silently; use param.ShiftCheck or bound the operand)")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// shiftOverflows reports whether x << k can exceed 63 bits under the
+// bounded lattice: unbounded x always can; bounded x (≤32-bit magnitude)
+// only when a constant shift exceeds 31.
+func shiftOverflows(info *types.Info, facts *Facts, x, k ast.Expr) bool {
+	if !boundedExpr(info, facts, x) {
+		return true
+	}
+	if tv, ok := info.Types[k]; ok && tv.Value != nil {
+		if v, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact && v > 31 {
+			return true
+		}
+	}
+	return false
+}
+
+// checkOverflowAccum flags `acc += f(...)` inside loops when the call
+// result is unbounded: the sum grows with the iteration count, so only a
+// checked add (geom.AddCheck / param.AddCheck) keeps it honest.
+func checkOverflowAccum(p *Pass, info *types.Info, body *ast.BlockStmt) {
+	var walk func(n ast.Node, depth int)
+	walk = func(n ast.Node, depth int) {
+		switch s := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			for _, st := range loopBody(s).List {
+				walk(st, depth+1)
+			}
+			return
+		case *ast.AssignStmt:
+			if depth > 0 && s.Tok == token.ADD_ASSIGN && len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+				lhs, rhs := s.Lhs[0], s.Rhs[0]
+				if tv, ok := info.Types[lhs]; ok && isInt64Kind(tv.Type) {
+					if call, isCall := ast.Unparen(rhs).(*ast.CallExpr); isCall && !boundedExpr(info, p.Facts, call) {
+						p.Reportf(s.TokPos,
+							"loop accumulates unbounded int64 call result into %q (sum may wrap silently; use geom.AddCheck/param.AddCheck)",
+							types.ExprString(lhs))
+					}
+				}
+			}
+		}
+		children(n, func(c ast.Node) { walk(c, depth) })
+	}
+	for _, st := range body.List {
+		walk(st, 0)
+	}
+}
+
+// isInt64Kind reports whether t's underlying type is int64/uint64.
+// time.Duration is excluded: duration arithmetic belongs to the
+// reporting layers, not the exact domain.
+func isInt64Kind(t types.Type) bool {
+	if named, ok := t.(*types.Named); ok {
+		if pkg := named.Obj().Pkg(); pkg != nil && pkg.Path() == "time" {
+			return false
+		}
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Int64 || b.Kind() == types.Uint64)
+}
+
+// boundedExpr reports whether the magnitude of e is known to fit 32 bits
+// (or the value is otherwise overflow-safe, e.g. produced by a checked
+// helper).
+func boundedExpr(info *types.Info, facts *Facts, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if tv, ok := info.Types[e]; ok {
+		if tv.Value != nil {
+			return true
+		}
+		if b, ok := tv.Type.Underlying().(*types.Basic); ok && narrowKind(b.Kind()) {
+			return true
+		}
+	}
+	switch v := e.(type) {
+	case *ast.CallExpr:
+		// Conversion T(x): bounded when the source type is narrow.
+		if tv, ok := info.Types[v.Fun]; ok && tv.IsType() && len(v.Args) == 1 {
+			if atv, ok := info.Types[v.Args[0]]; ok {
+				if atv.Value != nil {
+					return true
+				}
+				if b, ok := atv.Type.Underlying().(*types.Basic); ok && narrowKind(b.Kind()) {
+					return true
+				}
+			}
+			return false
+		}
+		if callee := calleeObj(info, v); callee != nil && facts.checked[callee] {
+			return true
+		}
+	case *ast.UnaryExpr:
+		if v.Op == token.SUB || v.Op == token.ADD {
+			return boundedExpr(info, facts, v.X)
+		}
+	case *ast.BinaryExpr:
+		switch v.Op {
+		case token.REM: // |x % y| < |y|
+			return boundedExpr(info, facts, v.Y)
+		case token.AND: // x & mask ≤ min magnitude
+			return boundedExpr(info, facts, v.X) || boundedExpr(info, facts, v.Y)
+		case token.SHR: // x >> k shrinks magnitude
+			if boundedExpr(info, facts, v.X) {
+				return true
+			}
+			// x >> 32 of any int64 fits 32 bits.
+			if tv, ok := info.Types[v.Y]; ok && tv.Value != nil {
+				if k, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact && k >= 32 {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	return false
+}
+
+// narrowKind reports whether the basic kind is an integer of at most 32
+// bits.
+func narrowKind(k types.BasicKind) bool {
+	switch k {
+	case types.Int8, types.Int16, types.Int32, types.Uint8, types.Uint16, types.Uint32, types.Bool:
+		return true
+	}
+	return false
+}

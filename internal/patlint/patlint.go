@@ -21,30 +21,55 @@
 //   - ctxloop: in routing packages, a loop doing iteration-scale work
 //     (nested loops, or calls into context-aware callees) inside a
 //     context-aware function must reach a cancellation check.
+//   - sharedmut: values whose provenance is a cache (`//patlint:shared`
+//     functions and types — SubCache sub-frontiers, ECO memo entries,
+//     LUT snapshots) must never be written through: no element assigns,
+//     no in-place append/copy/delete, no sorting, no calls into mutating
+//     methods or functions. Clone first.
+//   - cancelloop: a loop that transitively reaches cancellable routing
+//     work through ctx-less wrappers must still check the context — the
+//     interprocedural completion of ctxloop, which only sees direct
+//     ctx-taking callees.
+//   - goleak: a `go` statement must launch something that can be stopped
+//     (a context reference or a channel operation inside any loop), and
+//     sends on locally made unbuffered channels must sit in a select so
+//     an abandoned receiver cannot strand the sender.
+//   - exactoverflow: in exact packages, int64 multiplies of two
+//     unbounded operands, shifts of unbounded values, and loop
+//     accumulation of unbounded call results must go through the checked
+//     helpers (param.MulCheck/AddCheck/ShiftCheck, geom.AddCheck), which
+//     panic loudly instead of wrapping silently.
 //
 // Findings are suppressed line-by-line (or declaration-by-declaration)
-// with `//patlint:ignore <rule> <reason>`; the reason is mandatory.
-// The analyzers use only the standard library (go/parser, go/ast,
-// go/types, go/importer) so the tool builds with zero dependencies.
+// with `//patlint:ignore <rule> <reason>`; the reason is mandatory and
+// the rule name must exist. The analyzers use only the standard library
+// (go/parser, go/ast, go/types, go/importer) so the tool builds with
+// zero dependencies. Interprocedural facts (cache-ownership seeds,
+// mutator summaries, ctx-work reachability, overflow-checked helpers)
+// are collected per package in dependency order before analyzers run;
+// see facts.go.
 package patlint
 
 import (
 	"fmt"
 	"go/token"
 	"path"
-	"slices"
 	"strings"
 )
 
 // Rule names, as they appear in diagnostics and ignore directives.
 const (
-	RuleExact     = "exact"
-	RuleMapRange  = "maprange"
-	RuleNonDet    = "nondet"
-	RuleSortSlice = "sortslice"
-	RuleCtxBg     = "ctxbg"
-	RuleCtxLoop   = "ctxloop"
-	RuleIgnore    = "ignore" // malformed ignore directives
+	RuleExact      = "exact"
+	RuleMapRange   = "maprange"
+	RuleNonDet     = "nondet"
+	RuleSortSlice  = "sortslice"
+	RuleCtxBg      = "ctxbg"
+	RuleCtxLoop    = "ctxloop"
+	RuleSharedMut  = "sharedmut"
+	RuleCancelLoop = "cancelloop"
+	RuleGoLeak     = "goleak"
+	RuleOverflow   = "exactoverflow"
+	RuleIgnore     = "ignore" // malformed or stale ignore directives
 )
 
 // Diagnostic is one finding at a source position.
@@ -105,12 +130,16 @@ var floatAllowed = map[string]bool{
 // internal/patlint/testdata by directory base name, so each fixture
 // package opts in to exactly the rule families it exercises.
 var fixtureClasses = map[string]class{
-	"exactness":   classExact | classAlgo,
-	"determinism": classAlgo,
-	"ctxrules":    classRouting,
-	"sorthygiene": 0, // sortslice applies unconditionally
-	"ignore":      classExact | classAlgo | classRouting,
-	"allowed":     0, // a float-using package outside the exact set
+	"exactness":     classExact | classAlgo,
+	"determinism":   classAlgo,
+	"ctxrules":      classRouting,
+	"sorthygiene":   0, // sortslice applies unconditionally
+	"ignore":        classExact | classAlgo | classRouting,
+	"allowed":       0, // a float-using package outside the exact set
+	"sharedmut":     classExact,
+	"cancelloop":    classRouting,
+	"goleak":        classRouting,
+	"exactoverflow": classExact,
 }
 
 // classFor returns the rule families applying to an import path.
@@ -137,13 +166,33 @@ func classFor(importPath string) class {
 }
 
 // Check loads the packages matched by patterns (relative to the loader's
-// module) and runs every analyzer, returning the surviving diagnostics in
-// deterministic (file, line, column) order. Ignore directives have been
-// applied; malformed directives surface as patlint(ignore) findings.
+// module) and runs every registered analyzer, returning the surviving
+// diagnostics in deterministic (file, line, column) order. Ignore
+// directives have been applied; malformed or stale directives surface as
+// patlint(ignore) findings.
 func Check(l *Loader, patterns []string) ([]Diagnostic, error) {
+	return CheckRules(l, patterns, nil)
+}
+
+// CheckRules is Check restricted to the named rules (nil or empty runs
+// all). Fact collection always runs over the full load set in dependency
+// order, so a restricted run sees the same interprocedural summaries a
+// full run would.
+func CheckRules(l *Loader, patterns []string, rules []string) ([]Diagnostic, error) {
+	analyzers, err := selectAnalyzers(rules)
+	if err != nil {
+		return nil, err
+	}
 	pkgs, err := l.Load(patterns)
 	if err != nil {
 		return nil, err
+	}
+	// Load returns dependencies before importers, so by the time a
+	// package's facts are collected every callee it can name already has
+	// its summary; analyzers then run with the complete tables.
+	facts := newFacts()
+	for _, p := range pkgs {
+		facts.collect(p)
 	}
 	var diags []Diagnostic
 	for _, p := range pkgs {
@@ -152,33 +201,22 @@ func Check(l *Loader, patterns []string) ([]Diagnostic, error) {
 		}
 		c := classFor(p.Path)
 		var pkgDiags []Diagnostic
-		report := func(pos token.Pos, rule, msg string) {
-			pkgDiags = append(pkgDiags, Diagnostic{Pos: l.Fset.Position(pos), Rule: rule, Msg: msg})
+		for _, a := range analyzers {
+			if a.Classes != 0 && c&a.Classes == 0 {
+				continue
+			}
+			a.Run(&Pass{
+				Pkg:   p,
+				Fset:  l.Fset,
+				Facts: facts,
+				rule:  a.Name,
+				report: func(pos token.Pos, rule, msg string) {
+					pkgDiags = append(pkgDiags, Diagnostic{Pos: l.Fset.Position(pos), Rule: rule, Msg: msg})
+				},
+			})
 		}
-		if c&classExact != 0 {
-			checkExact(p, report)
-		}
-		if c&classAlgo != 0 {
-			checkNonDet(p, report)
-			checkMapRange(p, report)
-		}
-		if c&classRouting != 0 {
-			checkCtx(p, report)
-		}
-		checkSortSlice(p, report)
 		diags = append(diags, applyIgnores(l.Fset, p, pkgDiags)...)
 	}
-	slices.SortFunc(diags, func(a, b Diagnostic) int {
-		if a.Pos.Filename != b.Pos.Filename {
-			return strings.Compare(a.Pos.Filename, b.Pos.Filename)
-		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line - b.Pos.Line
-		}
-		if a.Pos.Column != b.Pos.Column {
-			return a.Pos.Column - b.Pos.Column
-		}
-		return strings.Compare(a.Rule, b.Rule)
-	})
+	sortDiagnostics(diags)
 	return diags, nil
 }

@@ -1,0 +1,323 @@
+package patlint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// checkSharedMut is the cache-ownership analyzer. Values returned by the
+// caching layers (SubCache sub-frontiers, ECO memo entries, LUT
+// snapshots, dedup-synthesized trees) are shared between goroutines and
+// across cache hits; a single in-place mutation silently corrupts every
+// other reader and with it the byte-identity guarantee. Provenance is
+// established two ways:
+//
+//   - annotation seeds: a function marked `//patlint:shared` returns
+//     cache-owned data; a type marked `//patlint:shared` is cache-owned
+//     wherever a value of it appears (unless the value was freshly
+//     constructed in the same function — make/new/composite literal —
+//     which the tracker treats as locally owned).
+//   - propagation: facts.go marks any function that returns a tainted
+//     value as shared itself, package by package in dependency order, so
+//     a ctx-less wrapper around a memo lookup taints its callers too.
+//
+// Within a function, taint flows through assignments, range statements
+// and field/element selection. A finding is any caller-visible write
+// whose root is tainted: element/field assigns through pointers, slices
+// or maps, in-place append, copy into, delete/clear, the sort/slices
+// mutators, and calls into methods or functions whose summaries say they
+// write through the receiver or that argument.
+func checkSharedMut(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkSharedMutFunc(p, info, fd)
+		}
+	}
+}
+
+func checkSharedMutFunc(p *Pass, info *types.Info, fd *ast.FuncDecl) {
+	tt := newTaintTracker(info, p.Facts)
+	tt.scan(fd)
+	if len(tt.taintedVars) == 0 && !tt.typeSeedsPossible(fd) {
+		return
+	}
+	flagWrite := func(e ast.Expr) {
+		p.Reportf(e.Pos(), "write to cache-owned data %q (clone before mutating; shared provenance per //patlint:shared)",
+			types.ExprString(e))
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if root, visible := visibleWriteRoot(info, lhs); visible && root != nil && tt.identTainted(root) {
+					flagWrite(lhs)
+				}
+			}
+		case *ast.IncDecStmt:
+			if root, visible := visibleWriteRoot(info, n.X); visible && root != nil && tt.identTainted(root) {
+				flagWrite(n.X)
+			}
+		case *ast.CallExpr:
+			// append(tainted, ...) may write into the shared backing
+			// array whenever spare capacity exists, wherever the result
+			// goes (assignment, return, argument).
+			if isBuiltinAppend(info, n) && len(n.Args) > 0 && tt.tainted(n.Args[0]) {
+				flagWrite(n.Args[0])
+				return true
+			}
+			tt.flagCallMutations(p, n)
+		}
+		return true
+	})
+}
+
+// flagCallMutations reports call arguments (or receivers) that the
+// callee is known to write through when the argument is tainted.
+func (t *taintTracker) flagCallMutations(p *Pass, call *ast.CallExpr) {
+	t.facts.noteCallMutations(p.Pkg.Info, call, func(e ast.Expr) {
+		if t.tainted(e) {
+			p.Reportf(e.Pos(), "call mutates cache-owned data %q (clone before mutating; shared provenance per //patlint:shared)",
+				types.ExprString(e))
+		}
+	})
+}
+
+// taintTracker computes, for one function, which local variables can
+// hold cache-owned values.
+type taintTracker struct {
+	info  *types.Info
+	facts *Facts
+	// taintedVars holds locals assigned from a shared source.
+	taintedVars map[types.Object]bool
+	// owned holds locals rooted at a fresh allocation in this function
+	// (make/new/composite literal); they defeat type-based seeding but
+	// not explicit taint flow.
+	owned map[types.Object]bool
+}
+
+func newTaintTracker(info *types.Info, facts *Facts) *taintTracker {
+	return &taintTracker{
+		info:        info,
+		facts:       facts,
+		taintedVars: make(map[types.Object]bool),
+		owned:       make(map[types.Object]bool),
+	}
+}
+
+// scan seeds ownership and runs taint flow to a fixpoint over fd's body
+// (closures included: they share the enclosing function's variables).
+func (t *taintTracker) scan(fd *ast.FuncDecl) {
+	// Parameters and receivers of shared-annotated type are tainted: the
+	// caller handed this function a cache-owned value.
+	seedField := func(field *ast.Field) {
+		for _, name := range field.Names {
+			if obj := t.info.Defs[name]; obj != nil && t.typeShared(obj.Type()) {
+				t.taintedVars[obj] = true
+			}
+		}
+	}
+	if fd.Recv != nil {
+		for _, field := range fd.Recv.List {
+			seedField(field)
+		}
+	}
+	for _, field := range fd.Type.Params.List {
+		seedField(field)
+	}
+	// Ownership pass: fresh allocations make their variable locally owned.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, rhs := range n.Rhs {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok && isFreshExpr(t.info, rhs) {
+						if obj := useOrDef(t.info, id); obj != nil {
+							t.owned[obj] = true
+						}
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for _, name := range n.Names {
+				fresh := len(n.Values) == 0 // var x T: zero value, locally owned
+				for _, v := range n.Values {
+					if isFreshExpr(t.info, v) {
+						fresh = true
+					}
+				}
+				if fresh {
+					if obj := t.info.Defs[name]; obj != nil {
+						t.owned[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	// Taint flow to a fixpoint: x = tainted, for _, x := range tainted.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				anyTainted := false
+				for _, rhs := range n.Rhs {
+					if t.tainted(rhs) {
+						anyTainted = true
+					}
+				}
+				if !anyTainted {
+					return true
+				}
+				if len(n.Lhs) == len(n.Rhs) {
+					for i, rhs := range n.Rhs {
+						if t.tainted(rhs) && t.taintLhs(n.Lhs[i]) {
+							changed = true
+						}
+					}
+				} else {
+					for _, lhs := range n.Lhs {
+						if t.taintLhs(lhs) {
+							changed = true
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if t.tainted(n.X) {
+					if t.taintLhs(n.Value) {
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// taintLhs marks the variable behind a plain-identifier assignment
+// target as tainted, reporting whether that was new. Non-ident targets
+// (x.f = ..., x[i] = ...) are writes, not new bindings, and are handled
+// by the write rules.
+func (t *taintTracker) taintLhs(lhs ast.Expr) bool {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return false
+	}
+	obj := useOrDef(t.info, id)
+	if obj == nil || t.taintedVars[obj] {
+		return false
+	}
+	t.taintedVars[obj] = true
+	return true
+}
+
+// tainted reports whether evaluating e can yield a cache-owned value.
+func (t *taintTracker) tainted(e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	e = ast.Unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok {
+		if isFreshExpr(t.info, call) {
+			return false // make/new of a shared-typed container is owned
+		}
+		if callee := calleeObj(t.info, call); callee != nil {
+			// A resolvable callee has a fact: funcReturnsShared marked it
+			// (directly or via propagation) iff it can return cache-owned
+			// data. Constructors returning fresh values of a shared type
+			// are correctly not shared.
+			return t.facts.shared[callee]
+		}
+		// Unresolvable callee (func value, method value): fall back to
+		// the result type — a shared-typed result is presumed cache-owned.
+		if tv, ok := t.info.Types[call]; ok && t.typeShared(tv.Type) {
+			return true
+		}
+		return false
+	}
+	if root := rootIdent(e); root != nil {
+		if t.identTainted(root) {
+			return true
+		}
+		// Type-based seed: a value of shared type is cache-owned unless
+		// its root was freshly allocated here.
+		if tv, ok := t.info.Types[e]; ok && t.typeShared(tv.Type) {
+			if obj := useOrDef(t.info, root); obj != nil && !t.owned[obj] {
+				// Package-level shared values (a global cache) taint too.
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// identTainted reports whether the identifier's object is tainted.
+func (t *taintTracker) identTainted(id *ast.Ident) bool {
+	obj := useOrDef(t.info, id)
+	return obj != nil && t.taintedVars[obj]
+}
+
+// typeShared reports whether ty contains a shared-annotated named type
+// after unwrapping pointers, slices and arrays.
+func (t *taintTracker) typeShared(ty types.Type) bool {
+	for i := 0; i < 8; i++ { // bound the unwrap, cycles cannot occur but cheap insurance
+		switch v := ty.(type) {
+		case *types.Pointer:
+			ty = v.Elem()
+		case *types.Slice:
+			ty = v.Elem()
+		case *types.Array:
+			ty = v.Elem()
+		case *types.Named:
+			return t.facts.shared[v.Obj()]
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// typeSeedsPossible reports whether any expression in fd has a shared
+// type — a fast path to skip the write walk when nothing can be tainted.
+func (t *taintTracker) typeSeedsPossible(fd *ast.FuncDecl) bool {
+	possible := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if possible {
+			return false
+		}
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if tv, ok := t.info.Types[e]; ok && t.typeShared(tv.Type) {
+			possible = true
+			return false
+		}
+		return true
+	})
+	return possible
+}
+
+// isFreshExpr reports whether e constructs a new value: a composite
+// literal, its address, or a make/new call.
+func isFreshExpr(info *types.Info, e ast.Expr) bool {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		_, lit := v.X.(*ast.CompositeLit)
+		return v.Op.String() == "&" && lit
+	case *ast.CallExpr:
+		if id, ok := v.Fun.(*ast.Ident); ok {
+			if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+				return id.Name == "make" || id.Name == "new"
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,34 @@
+package cancelloop
+
+import "context"
+
+// BatchChecked checks the context every iteration — clean.
+func BatchChecked(ctx context.Context, nets []int) int {
+	total := 0
+	for _, n := range nets {
+		if ctx.Err() != nil {
+			return total
+		}
+		total += wrapper(n)
+	}
+	return total
+}
+
+// BatchDirect threads the context straight into the work: the loop uses
+// ctx, so both ctxloop and cancelloop are satisfied.
+func BatchDirect(ctx context.Context, nets []int) int {
+	total := 0
+	for _, n := range nets {
+		total += routeOne(ctx, n)
+	}
+	return total
+}
+
+// Bookkeeping loops that never reach ctx work need no check.
+func Bookkeeping(ctx context.Context, nets []int) int {
+	total := 0
+	for _, n := range nets {
+		total += n
+	}
+	return total
+}

@@ -21,7 +21,8 @@ func Root(x int64) int64 {
 	return int64(math.Sqrt(float64(x)))
 }
 
-// Exact is clean: int64 arithmetic only, no findings.
+// Exact is clean: int64 arithmetic only, and the multiply has a constant
+// operand so exactoverflow stays quiet too — no findings.
 func Exact(x int64) int64 {
-	return x*x + 1
+	return 2*x + 1
 }

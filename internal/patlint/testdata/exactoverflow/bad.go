@@ -1,0 +1,39 @@
+// Package exactoverflow seeds violations for the exact-arithmetic
+// overflow analyzer: int64 products, shifts and loop accumulations over
+// values dataflow cannot bound.
+package exactoverflow
+
+// dist returns an unbounded int64 (no //patlint:checked annotation).
+func dist(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Price multiplies two unbounded int64 domain values.
+func Price(cost, d int64) int64 {
+	return cost * d // want(exactoverflow): multiply of two unbounded
+}
+
+// Pack shifts an unbounded value into the high bits.
+func Pack(w, d int64) int64 {
+	return w<<20 | d // want(exactoverflow): left shift of unbounded
+}
+
+// SumDists accumulates an unbounded call result in a loop: the sum grows
+// with the iteration count.
+func SumDists(xs []int64) int64 {
+	var s int64
+	for _, x := range xs {
+		s += dist(x) // want(exactoverflow): accumulates unbounded int64 call result
+	}
+	return s
+}
+
+// ScaleInPlace compounds an unbounded product in place.
+func ScaleInPlace(prices []int64, rate int64) {
+	for i := range prices {
+		prices[i] *= rate // want(exactoverflow): *= of two unbounded
+	}
+}

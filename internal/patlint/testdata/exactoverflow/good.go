@@ -1,0 +1,58 @@
+package exactoverflow
+
+// ScaleCoeff is clean: an operand converted from a narrow type is
+// bounded, and a 32-bit factor cannot overflow an int64 product with an
+// in-range domain value.
+func ScaleCoeff(c int16, h int64) int64 {
+	return int64(c) * h
+}
+
+// MaskLow is clean: constant shiftees (masks, bit probes) never flag.
+func MaskLow(q int64, k uint) int64 {
+	return q & (1<<20 - 1) & (1 << k)
+}
+
+// SumChecked routes the accumulation through an overflow-guarded helper.
+func SumChecked(xs []int64) int64 {
+	var s int64
+	for _, x := range xs {
+		s = addCheck(s, dist(x))
+	}
+	return s
+}
+
+// MulGuarded multiplies through the checked helper.
+func MulGuarded(a, b int64) int64 {
+	return mulCheck(a, b) + 1
+}
+
+// HalfDiff is clean: magnitude-shrinking operators keep values bounded.
+func HalfDiff(a int64) int64 {
+	return (a >> 32) * (a >> 33)
+}
+
+// addCheck panics instead of wrapping; the annotation tells the analyzer
+// its results are safe.
+//
+//patlint:checked result is overflow-guarded (panics instead of wrapping)
+func addCheck(a, b int64) int64 {
+	s := a + b
+	if (a >= 0) == (b >= 0) && (s >= 0) != (a >= 0) {
+		panic("overflow")
+	}
+	return s
+}
+
+// mulCheck panics instead of wrapping.
+//
+//patlint:checked result is overflow-guarded (panics instead of wrapping)
+func mulCheck(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	p := a * b //patlint:ignore exactoverflow the division below detects the wrap
+	if p/b != a {
+		panic("overflow")
+	}
+	return p
+}

@@ -1,0 +1,58 @@
+package goleak
+
+import "context"
+
+// ProduceBuffered buffers the channel to its maximum occupancy: every
+// send completes even after the consumer is gone. Clean.
+func ProduceBuffered(vals []int) <-chan int {
+	out := make(chan int, len(vals))
+	go func() {
+		for _, v := range vals {
+			out <- v
+		}
+		close(out)
+	}()
+	return out
+}
+
+// ProduceSelect pairs each unbuffered send with a done signal. Clean.
+func ProduceSelect(done <-chan struct{}, vals []int) <-chan int {
+	out := make(chan int)
+	go func() {
+		defer close(out)
+		for _, v := range vals {
+			select {
+			case out <- v:
+			case <-done:
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// drain ranges over a channel: the loop ends when the channel closes, so
+// the goroutine has an exit path.
+func drain(ch <-chan int) {
+	for range ch {
+	}
+}
+
+// LaunchDrain launches a stoppable worker. Clean.
+func LaunchDrain(ch chan int) {
+	go drain(ch)
+}
+
+// tick references its context inside the loop — an exit path. Clean.
+func tick(ctx context.Context) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+	}
+}
+
+// LaunchTick launches the ctx-aware worker. Clean.
+func LaunchTick(ctx context.Context) {
+	go tick(ctx)
+}

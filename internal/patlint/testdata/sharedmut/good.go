@@ -1,0 +1,36 @@
+package sharedmut
+
+import "slices"
+
+// CloneThenSort copies the cache-owned slice before mutating — the
+// canonical fix for every bad.go finding. No findings here.
+func CloneThenSort(key string) []int64 {
+	e := lookup(key)
+	out := make([]int64, len(e.items))
+	copy(out, e.items)
+	slices.Sort(out)
+	out = append(out, 5)
+	out[0] = 3
+	return out
+}
+
+// FreshEntry builds and fills its own entry: a locally constructed value
+// of a shared type is owned, so the writes are fine — and because the
+// returned value is owned, FreshEntry is not itself a shared source.
+func FreshEntry() *Frontier {
+	e := &Frontier{items: make([]int64, 4)}
+	e.items[2] = 7
+	return e
+}
+
+// ReadShared only reads cache-owned data, which is always allowed.
+func ReadShared(key string) int64 {
+	e := lookup(key)
+	var s int64
+	for _, v := range e.items {
+		if v > s {
+			s = v
+		}
+	}
+	return s
+}

@@ -178,7 +178,7 @@ func (e *Evaluator) Sol(t *Tree) pareto.Sol {
 	var w, d int64
 	for i, p := range t.Parent {
 		if p >= 0 {
-			w += geom.Dist(t.Nodes[i].P, t.Nodes[p].P)
+			w = geom.AddCheck(w, geom.Dist(t.Nodes[i].P, t.Nodes[p].P))
 		}
 	}
 	for i, nd := range t.Nodes {

@@ -181,7 +181,7 @@ func (t *Tree) RelocateSteinersWith(e *Evaluator) bool {
 func localWL(p geom.Point, nbr []geom.Point) int64 {
 	var s int64
 	for _, q := range nbr {
-		s += geom.Dist(p, q)
+		s = geom.AddCheck(s, geom.Dist(p, q))
 	}
 	return s
 }

@@ -102,7 +102,7 @@ func (t *Tree) Wirelength() int64 {
 	var w int64
 	for i, p := range t.Parent {
 		if p >= 0 {
-			w += geom.Dist(t.Nodes[i].P, t.Nodes[p].P)
+			w = geom.AddCheck(w, geom.Dist(t.Nodes[i].P, t.Nodes[p].P))
 		}
 	}
 	return w
